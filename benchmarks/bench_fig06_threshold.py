@@ -1,0 +1,104 @@
+"""Figure 6 — sensitivity to the reclamation (limbo) threshold.
+
+The paper varies the fraction of limbo slots a block may accumulate
+before joining the reclamation queue, and reports (normalised to the
+maximum): allocation/removal performance, query performance, and total
+memory size.  Expected shape: memory grows with the threshold,
+alloc/removal cost falls slowly, query performance dips around 50%
+occupancy, and 5% is a good default.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.bench.harness import FigureReport, time_callable
+from repro.bench.workloads import lineitem_values
+from repro.core.collection import Collection
+from repro.memory.manager import MemoryManager
+from repro.query.builder import Sum
+from repro.tpch.schema import Lineitem
+
+THRESHOLDS = [0.01, 0.05, 0.10, 0.25, 0.50, 0.75, 1.00]
+_POPULATION = 20_000
+_CHURN_ROUNDS = 4
+
+
+def _build_collection(threshold: float):
+    manager = MemoryManager(block_shift=16, reclamation_threshold=threshold)
+    coll = Collection(Lineitem, manager=manager)
+    rnd = random.Random(13)
+    live = [coll.add(**lineitem_values(rnd, i)) for i in range(_POPULATION)]
+    return manager, coll, live, rnd
+
+
+def _churn(coll, live, rnd):
+    """One churn round: remove 50%, re-insert the same volume."""
+    rnd.shuffle(live)
+    cut = len(live) // 2
+    victims, live = live[:cut], live[cut:]
+    for handle in victims:
+        coll.remove(handle)
+    for i in range(cut):
+        live.append(coll.add(**lineitem_values(rnd, 10**7 + i)))
+    return live
+
+
+def _measure(threshold: float):
+    manager, coll, live, rnd = _build_collection(threshold)
+    ops = time_callable(
+        lambda: _churn_rounds(coll, live, rnd), repeat=1
+    )
+    query = coll.query().aggregate(q=Sum(Lineitem.quantity))
+    query_time = time_callable(lambda: query.run(), repeat=3)
+    memory = coll.memory_bytes()
+    manager.close()
+    return ops, query_time, memory
+
+
+def _churn_rounds(coll, live, rnd):
+    for __ in range(_CHURN_ROUNDS):
+        live = _churn(coll, live, rnd)
+
+
+@pytest.fixture(scope="module")
+def report():
+    rep = FigureReport(
+        "Figure 6",
+        "reclamation-threshold sensitivity (normalised to max)",
+        "normalised",
+    )
+    yield rep
+    rep.print()
+
+
+def test_fig06_threshold_sweep(report, benchmark):
+    def _run():
+            raw = {t: _measure(t) for t in THRESHOLDS}
+            max_ops = max(v[0] for v in raw.values())
+            max_q = max(v[1] for v in raw.values())
+            max_mem = max(v[2] for v in raw.values())
+            for t, (ops, q, mem) in raw.items():
+                x = f"{int(t * 100)}%"
+                report.record("alloc/removal time", x, ops / max_ops)
+                report.record("query time", x, q / max_q)
+                report.record("total memory size", x, mem / max_mem)
+            # Paper shape: memory grows with the threshold...
+            assert raw[1.00][2] >= raw[0.01][2]
+            # ...and churn does not get more expensive with a looser threshold.
+            assert raw[1.00][0] <= raw[0.01][0] * 1.5
+
+    benchmark.pedantic(_run, rounds=1, iterations=1)
+
+@pytest.mark.parametrize("threshold", [0.05, 0.50])
+def test_fig06_churn_benchmark(benchmark, threshold):
+    manager, coll, live, rnd = _build_collection(threshold)
+    state = {"live": live}
+
+    def one_round():
+        state["live"] = _churn(coll, state["live"], rnd)
+
+    benchmark(one_round)
+    manager.close()

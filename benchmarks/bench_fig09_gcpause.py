@@ -1,0 +1,104 @@
+"""Figure 9 — longest application pause vs collection size.
+
+The paper stores N objects in a collection (managed vs self-managed),
+runs an allocating thread plus a 1 ms sleeper thread, and records the
+longest observed overrun.  Expected shape: managed/batch pauses grow
+~linearly with N; self-managed collections keep pauses flat; interactive
+(concurrent) collection bounds pauses for both at the cost of background
+CPU.
+
+Two instruments (see DESIGN.md substitution table):
+
+* the generational stop-the-world cost model (`gcsim.longest_timeout`)
+  reproduces the .NET pause mechanics the paper measures;
+* a real-CPython probe times `gc.collect()` with the population either
+  as tracked record objects (managed) or inside SMC block buffers
+  (self-managed) — the genuine Python analogue of GC exclusion.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import FigureReport
+from repro.core.collection import Collection
+from repro.managed.gcsim import longest_timeout, real_gc_probe
+from repro.memory.manager import MemoryManager
+from repro.tpch.schema import Lineitem
+
+_SIZES = [5_000_000, 10_000_000, 20_000_000, 40_000_000]
+_REAL_SIZES = [20_000, 60_000, 180_000]
+
+
+@pytest.fixture(scope="module")
+def report():
+    rep = FigureReport(
+        "Figure 9", "longest thread timeout vs collection size", "ms"
+    )
+    yield rep
+    rep.print()
+
+
+def test_fig09_simulated_pauses(report, benchmark):
+    def _run():
+            series = {}
+            for n in _SIZES:
+                x = f"{n // 1_000_000}M"
+                series[("Managed (batch)", x)] = (
+                    longest_timeout(n, "batch", churn_objects=50_000) * 1000
+                )
+                series[("Managed (interactive)", x)] = (
+                    longest_timeout(n, "interactive", churn_objects=50_000) * 1000
+                )
+                # SMC objects live off-heap: the collector scans only block
+                # buffers, i.e. a pinned population of ~zero objects.
+                series[("Self-managed (batch)", x)] = (
+                    longest_timeout(0, "batch", churn_objects=50_000) * 1000
+                )
+                series[("Self-managed (interactive)", x)] = (
+                    longest_timeout(0, "interactive", churn_objects=50_000) * 1000
+                )
+            for (label, x), value in series.items():
+                report.record(label, x, value)
+
+            xs = [f"{n // 1_000_000}M" for n in _SIZES]
+            managed = [series[("Managed (batch)", x)] for x in xs]
+            smc = [series[("Self-managed (batch)", x)] for x in xs]
+            # Managed batch pauses grow ~linearly with the population...
+            assert managed == sorted(managed)
+            assert managed[-1] > managed[0] * 4
+            # ...self-managed pauses stay flat...
+            assert max(smc) < managed[0]
+            assert max(smc) == pytest.approx(min(smc), rel=0.01)
+            # ...and interactive mode bounds the managed pauses.
+            inter = [series[("Managed (interactive)", x)] for x in xs]
+            assert all(i < m for i, m in zip(inter, managed))
+
+    benchmark.pedantic(_run, rounds=1, iterations=1)
+
+def test_fig09_real_cpython_gc(report, benchmark):
+    def _run():
+            """Real `gc.collect()` time: tracked records vs off-heap blocks."""
+            record_cls = Lineitem.managed_class()
+            for n in _REAL_SIZES:
+                managed_cost = real_gc_probe(
+                    lambda n=n: [record_cls(orderkey=i) for i in range(n)]
+                )
+
+                def smc_population(n=n):
+                    manager = MemoryManager()
+                    coll = Collection(Lineitem, manager=manager)
+                    for i in range(n):
+                        coll.add(orderkey=i)
+                    return manager, coll
+
+                smc_cost = real_gc_probe(smc_population)
+                report.record("CPython gc.collect managed", f"{n // 1000}k", managed_cost * 1000)
+                report.record("CPython gc.collect SMC", f"{n // 1000}k", smc_cost * 1000)
+                assert managed_cost > smc_cost
+
+    benchmark.pedantic(_run, rounds=1, iterations=1)
+
+@pytest.mark.parametrize("mode", ["batch", "interactive"])
+def test_fig09_pause_benchmark(benchmark, mode):
+    benchmark(lambda: longest_timeout(10_000_000, mode, churn_objects=20_000))

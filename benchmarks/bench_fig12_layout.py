@@ -1,0 +1,71 @@
+"""Figure 12 — direct pointers and columnar storage.
+
+TPC-H Q1–Q6 on row-layout SMCs (indirect references), direct-pointer
+SMCs (section 6) and columnar SMCs (section 4.1), relative to the
+row/indirect baseline.  Expected shape: direct pointers help queries
+that chase references (Q5 most); columnar storage helps the
+scan-dominated queries further.
+
+Known divergence (see EXPERIMENTS.md): in this substrate the indirection
+table is a contiguous NumPy array, so an indirect hop costs one cheap
+fancy-index instead of a random DRAM access — the direct-pointer gain is
+therefore much smaller than on hardware.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import FigureReport, time_callable
+from repro.tpch.queries import DEFAULT_PARAMS, QUERIES
+
+QNAMES = ["q1", "q2", "q3", "q4", "q5", "q6"]
+
+
+@pytest.fixture(scope="module")
+def report():
+    rep = FigureReport(
+        "Figure 12",
+        "direct pointers & columnar storage, relative to SMC",
+        "x SMC",
+    )
+    yield rep
+    rep.print()
+
+
+def _time_query(collections, qname) -> float:
+    query = QUERIES[qname](collections)
+    return time_callable(lambda: query.run(params=DEFAULT_PARAMS), repeat=3)
+
+
+def test_fig12_relative_times(report, smc, smc_direct, smc_columnar, benchmark):
+    def _run():
+            for qname in QNAMES:
+                base = _time_query(smc, qname)
+                report.record("SMC", qname, 1.0)
+                report.record(
+                    "SMC (direct)", qname, _time_query(smc_direct, qname) / base
+                )
+                report.record(
+                    "SMC (columnar)", qname, _time_query(smc_columnar, qname) / base
+                )
+            # Columnar storage must help (or at least match) the scan-heavy
+            # queries; margins absorb timer noise at small scale.
+            assert report.series["SMC (columnar)"].value_at("q1") < 1.15
+            assert report.series["SMC (columnar)"].value_at("q6") < 1.15
+            # Direct pointers must never hurt the scan-only queries materially.
+            assert report.series["SMC (direct)"].value_at("q1") < 1.4
+            assert report.series["SMC (direct)"].value_at("q6") < 1.4
+
+    benchmark.pedantic(_run, rounds=1, iterations=1)
+
+@pytest.mark.parametrize("qname", QNAMES)
+def test_fig12_columnar_benchmark(benchmark, smc_columnar, qname):
+    query = QUERIES[qname](smc_columnar)
+    benchmark(lambda: query.run(params=DEFAULT_PARAMS))
+
+
+@pytest.mark.parametrize("qname", QNAMES)
+def test_fig12_direct_benchmark(benchmark, smc_direct, qname):
+    query = QUERIES[qname](smc_direct)
+    benchmark(lambda: query.run(params=DEFAULT_PARAMS))

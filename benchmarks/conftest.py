@@ -1,0 +1,68 @@
+"""Shared fixtures for the figure-reproduction benchmarks.
+
+Scale is controlled by ``REPRO_BENCH_SF`` (TPC-H scale factor, default
+0.01 ≈ 60k lineitems).  Engines are loaded once per session.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import bench_scale_factor
+from repro.memory.manager import MemoryManager
+from repro.tpch.datagen import generate
+from repro.tpch.loader import load_managed, load_rdbms, load_smc
+
+
+@pytest.fixture(scope="session")
+def bench_sf() -> float:
+    return bench_scale_factor(0.01)
+
+
+@pytest.fixture(scope="session")
+def data(bench_sf):
+    return generate(bench_sf, seed=42)
+
+
+@pytest.fixture(scope="session")
+def smc(data):
+    return load_smc(data)
+
+
+@pytest.fixture(scope="session")
+def smc_direct(data):
+    return load_smc(data, manager=MemoryManager(direct_pointers=True))
+
+
+@pytest.fixture(scope="session")
+def smc_columnar(data):
+    return load_smc(data, columnar=True)
+
+
+@pytest.fixture(scope="session")
+def managed_list(data):
+    return load_managed(data, "list")
+
+
+@pytest.fixture(scope="session")
+def managed_dict(data):
+    return load_managed(data, "dict")
+
+
+@pytest.fixture(scope="session")
+def managed_bag(data):
+    return load_managed(data, "bag")
+
+
+@pytest.fixture(scope="session")
+def rdbms(data):
+    return load_rdbms(data)
+
+
+def pytest_terminal_summary(terminalreporter):
+    """Show every figure table at the end of the run (pytest captures the
+    in-test prints; this hook writes to the real terminal)."""
+    from repro.bench.harness import RENDERED_REPORTS
+
+    for text in RENDERED_REPORTS:
+        terminalreporter.write_line(text)

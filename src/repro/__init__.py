@@ -1,0 +1,50 @@
+"""Self-managed collections (EDBT 2017) reproduction."""
+
+from repro.core.collection import Collection, default_manager, reset_default_manager
+from repro.core.columnar import ColumnarCollection
+from repro.core.handle import Handle
+from repro.io.snapshot import load_collections, save_collections
+from repro.errors import NullReferenceError, SmcError, TabularTypeError
+from repro.memory.manager import MemoryManager
+from repro.schema import (
+    BoolField,
+    CharField,
+    DateField,
+    DecimalField,
+    Float64Field,
+    Int8Field,
+    Int16Field,
+    Int32Field,
+    Int64Field,
+    RefField,
+    Tabular,
+    VarStringField,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Collection",
+    "ColumnarCollection",
+    "load_collections",
+    "save_collections",
+    "Handle",
+    "MemoryManager",
+    "default_manager",
+    "reset_default_manager",
+    "NullReferenceError",
+    "SmcError",
+    "TabularTypeError",
+    "Tabular",
+    "BoolField",
+    "CharField",
+    "DateField",
+    "DecimalField",
+    "Float64Field",
+    "Int8Field",
+    "Int16Field",
+    "Int32Field",
+    "Int64Field",
+    "RefField",
+    "VarStringField",
+]

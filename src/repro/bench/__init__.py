@@ -1,0 +1,15 @@
+"""Benchmark harness and shared workloads."""
+
+from repro.bench.harness import FigureReport, Series, bench_scale_factor, time_callable
+from repro.bench.workloads import RefreshStreams, allocation_throughput, lineitem_values, wear
+
+__all__ = [
+    "FigureReport",
+    "Series",
+    "bench_scale_factor",
+    "time_callable",
+    "RefreshStreams",
+    "allocation_throughput",
+    "lineitem_values",
+    "wear",
+]

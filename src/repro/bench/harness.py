@@ -1,0 +1,116 @@
+"""Benchmark harness: timing, series collection, paper-style reporting.
+
+Each figure-reproduction bench (``benchmarks/bench_fig*.py``) both runs
+under ``pytest-benchmark`` (per-configuration timings) and prints a
+consolidated table shaped like the paper's figure through
+:class:`FigureReport`, so EXPERIMENTS.md can record paper-vs-measured
+side by side.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+
+#: Reports registered for end-of-session display (pytest captures plain
+#: prints; the benchmarks' conftest flushes this in pytest_terminal_summary).
+RENDERED_REPORTS: List[str] = []
+
+
+def bench_scale_factor(default: float = 0.01) -> float:
+    """TPC-H scale factor used by the benches (env ``REPRO_BENCH_SF``)."""
+    return float(os.environ.get("REPRO_BENCH_SF", default))
+
+
+def time_callable(fn: Callable[[], Any], repeat: int = 3) -> float:
+    """Best-of-*repeat* wall-clock seconds of ``fn()``."""
+    best = float("inf")
+    for __ in range(repeat):
+        start = time.perf_counter()
+        fn()
+        elapsed = time.perf_counter() - start
+        if elapsed < best:
+            best = elapsed
+    return best
+
+
+@dataclass
+class Series:
+    """One line/bar series of a figure: label plus (x, value) points."""
+
+    label: str
+    points: List[tuple] = field(default_factory=list)
+
+    def add(self, x: Any, value: float) -> None:
+        self.points.append((x, value))
+
+    def value_at(self, x: Any) -> Optional[float]:
+        for px, v in self.points:
+            if px == x:
+                return v
+        return None
+
+
+class FigureReport:
+    """Collects series for one paper figure and prints a text table."""
+
+    def __init__(self, figure: str, title: str, unit: str) -> None:
+        self.figure = figure
+        self.title = title
+        self.unit = unit
+        self.series: Dict[str, Series] = {}
+
+    def record(self, label: str, x: Any, value: float) -> None:
+        series = self.series.get(label)
+        if series is None:
+            series = self.series[label] = Series(label)
+        series.add(x, value)
+
+    def xs(self) -> List[Any]:
+        seen: List[Any] = []
+        for series in self.series.values():
+            for x, __ in series.points:
+                if x not in seen:
+                    seen.append(x)
+        return seen
+
+    def render(self) -> str:
+        xs = self.xs()
+        labels = list(self.series)
+        widths = [max(12, *(len(str(x)) for x in xs))] if xs else [12]
+        header = f"{self.figure}: {self.title} [{self.unit}]"
+        lines = ["", "=" * len(header), header, "=" * len(header)]
+        col0 = max([len(label) for label in labels] + [8])
+        xcols = [max(len(f"{x}"), 10) for x in xs]
+        head = " " * col0 + " | " + " | ".join(
+            f"{x!s:>{w}}" for x, w in zip(xs, xcols)
+        )
+        lines.append(head)
+        lines.append("-" * len(head))
+        for label in labels:
+            series = self.series[label]
+            cells = []
+            for x, w in zip(xs, xcols):
+                v = series.value_at(x)
+                cells.append(f"{'-' if v is None else format(v, '.4g'):>{w}}")
+            lines.append(f"{label:<{col0}} | " + " | ".join(cells))
+        return "\n".join(lines)
+
+    def print(self) -> None:
+        text = self.render()
+        print(text)
+        RENDERED_REPORTS.append(text)
+
+    def normalised(self, baseline_label: str) -> "FigureReport":
+        """A copy with every series divided by *baseline_label* per x."""
+        out = FigureReport(self.figure, self.title + " (normalised)", "x")
+        base = self.series[baseline_label]
+        for label, series in self.series.items():
+            for x, v in series.points:
+                bv = base.value_at(x)
+                if bv:
+                    out.record(label, x, v / bv)
+        return out

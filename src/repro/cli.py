@@ -1,0 +1,158 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``gen``
+    Generate a TPC-H dataset, load it into self-managed collections and
+    write a snapshot file.
+``info``
+    Describe a snapshot: tables, row counts, memory footprint.
+``query``
+    Run one of the built-in TPC-H queries (q1–q6, q7/q10/q12/q14)
+    against a snapshot and print the result table.
+``bench``
+    Run one figure-reproduction bench module through pytest.
+
+Examples::
+
+    python -m repro gen --sf 0.01 --out tpch.smcsnap
+    python -m repro info tpch.smcsnap
+    python -m repro query tpch.smcsnap q1 --engine compiled
+    python -m repro bench fig11
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+
+def _cmd_gen(args: argparse.Namespace) -> int:
+    from repro.io.snapshot import save_collections
+    from repro.tpch.datagen import generate
+    from repro.tpch.loader import load_smc
+
+    print(f"generating TPC-H data at SF={args.sf} (seed {args.seed}) ...")
+    start = time.perf_counter()
+    data = generate(args.sf, seed=args.seed)
+    collections = load_smc(data, columnar=args.columnar)
+    rows = save_collections(args.out, collections)
+    elapsed = time.perf_counter() - start
+    counts = ", ".join(f"{k}={v}" for k, v in data.row_counts().items())
+    print(f"wrote {rows} rows ({counts}) to {args.out} in {elapsed:.1f}s")
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    from repro.io.snapshot import load_collections
+
+    collections = load_collections(args.snapshot, columnar=args.columnar)
+    manager = collections.pop("_manager")
+    print(f"snapshot {args.snapshot}:")
+    for name, coll in collections.items():
+        print(
+            f"  {name:<12} {len(coll):>9} rows   "
+            f"{coll.context.block_count():>4} blocks   "
+            f"{coll.memory_bytes() / 2**20:8.1f} MiB"
+        )
+    print()
+    print(manager.describe())
+    manager.close()
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    from repro.io.snapshot import load_collections
+    from repro.tpch.queries import DEFAULT_PARAMS, EXTRA_QUERIES, QUERIES
+
+    builder = QUERIES.get(args.query) or EXTRA_QUERIES.get(args.query)
+    if builder is None:
+        known = sorted(QUERIES) + sorted(EXTRA_QUERIES)
+        print(f"unknown query {args.query!r}; choose from {known}", file=sys.stderr)
+        return 2
+    collections = load_collections(args.snapshot, columnar=args.columnar)
+    query = builder(collections)
+    if args.explain:
+        print(query.explain())
+    start = time.perf_counter()
+    result = query.run(engine=args.engine, params=DEFAULT_PARAMS)
+    elapsed = (time.perf_counter() - start) * 1000
+    widths = [
+        max(len(c), *(len(str(r[i])) for r in result.rows)) if result.rows else len(c)
+        for i, c in enumerate(result.columns)
+    ]
+    print(" | ".join(c.ljust(w) for c, w in zip(result.columns, widths)))
+    print("-+-".join("-" * w for w in widths))
+    for row in result.rows[: args.limit]:
+        print(" | ".join(str(v).ljust(w) for v, w in zip(row, widths)))
+    if len(result.rows) > args.limit:
+        print(f"... ({len(result.rows) - args.limit} more rows)")
+    print(f"\n{len(result.rows)} row(s) in {elapsed:.1f} ms ({args.engine})")
+    collections["_manager"].close()
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import subprocess
+    from pathlib import Path
+
+    bench_dir = Path(__file__).resolve().parent.parent.parent / "benchmarks"
+    matches = sorted(bench_dir.glob(f"bench_{args.figure}*.py"))
+    if not matches:
+        print(
+            f"no bench matches {args.figure!r}; available: "
+            + ", ".join(p.stem.replace("bench_", "") for p in sorted(bench_dir.glob("bench_*.py"))),
+            file=sys.stderr,
+        )
+        return 2
+    cmd = [sys.executable, "-m", "pytest", *map(str, matches), "--benchmark-only", "-s"]
+    return subprocess.call(cmd)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Self-managed collections (EDBT 2017 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("gen", help="generate TPC-H data into a snapshot")
+    gen.add_argument("--sf", type=float, default=0.01, help="scale factor")
+    gen.add_argument("--seed", type=int, default=42)
+    gen.add_argument("--out", default="tpch.smcsnap")
+    gen.add_argument("--columnar", action="store_true")
+    gen.set_defaults(fn=_cmd_gen)
+
+    info = sub.add_parser("info", help="describe a snapshot")
+    info.add_argument("snapshot")
+    info.add_argument("--columnar", action="store_true")
+    info.set_defaults(fn=_cmd_info)
+
+    query = sub.add_parser("query", help="run a TPC-H query on a snapshot")
+    query.add_argument("snapshot")
+    query.add_argument("query", help="q1..q6, q7, q10, q12, q14")
+    query.add_argument(
+        "--engine", choices=["compiled", "interpreted"], default="compiled"
+    )
+    query.add_argument("--columnar", action="store_true")
+    query.add_argument("--limit", type=int, default=25)
+    query.add_argument("--explain", action="store_true")
+    query.set_defaults(fn=_cmd_query)
+
+    bench = sub.add_parser("bench", help="run a figure bench (e.g. fig11)")
+    bench.add_argument("figure", help="fig06..fig13 or ablation")
+    bench.set_defaults(fn=_cmd_bench)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,370 @@
+"""Self-managed collections (paper sections 2 and 4).
+
+A :class:`Collection` owns the lifetime of its objects: ``add`` allocates a
+slot in the collection's private memory context, runs the constructor
+(writes the field values), and returns a handle; ``remove`` ends the
+object's lifetime, after which every reference to it dereferences as null.
+
+Collections have bag semantics: enumeration visits objects in memory
+order — block by block, slot by slot — which is what lets compiled queries
+scan the raw blocks directly (section 4).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING, Any, Dict, Iterator, List, Optional, Tuple, Type, Union
+
+from repro.errors import TabularTypeError
+from repro.memory.addressing import NULL_ADDRESS
+from repro.memory.manager import MemoryManager
+from repro.memory.reference import Ref
+from repro.core.handle import Handle
+from repro.schema.fields import RefField
+from repro.schema.tabular import Tabular, TabularMeta, resolve_tabular
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.memory.block import Block
+    from repro.query.builder import Query
+
+_default_manager: Optional[MemoryManager] = None
+_default_manager_lock = threading.Lock()
+
+
+def default_manager() -> MemoryManager:
+    """The process-wide memory manager used when none is supplied.
+
+    Collections that should reference each other must share one manager;
+    the default makes the common single-runtime case frictionless.
+    """
+    global _default_manager
+    with _default_manager_lock:
+        if _default_manager is None:
+            _default_manager = MemoryManager()
+        return _default_manager
+
+
+def reset_default_manager() -> None:
+    """Discard the default manager (tests / benchmarks isolation)."""
+    global _default_manager
+    with _default_manager_lock:
+        if _default_manager is not None:
+            _default_manager.close()
+        _default_manager = None
+
+
+class Collection:
+    """A self-managed collection of one tabular class."""
+
+    #: Default compiled-query backend: raw-block access ("SMC (unsafe C#)"
+    #: in the paper's Figure 11); pass ``flavor="smc-safe"`` to Query.run
+    #: for the handle-level "SMC (C#)" series.
+    compiled_flavor = "smc-unsafe"
+
+    def __init__(
+        self,
+        schema: Type[Tabular],
+        manager: Optional[MemoryManager] = None,
+        name: Optional[str] = None,
+        auto_compact_occupancy: Optional[float] = None,
+    ) -> None:
+        """Create a collection of *schema* on *manager*.
+
+        ``auto_compact_occupancy`` enables the paper's "heavy shrinkage"
+        policy (section 5): after removals, once the collection's overall
+        occupancy falls below the given fraction, a compaction cycle runs
+        automatically.
+        """
+        if not isinstance(schema, TabularMeta) or schema.__dict__.get(
+            "_tabular_root_", False
+        ):
+            raise TabularTypeError(
+                f"Collection requires a tabular class, got {schema!r}"
+            )
+        self.schema = schema
+        self.layout = schema.__layout__
+        self.manager = manager if manager is not None else default_manager()
+        self.name = name or schema.__name__
+        #: Private memory context: all objects of this collection live in
+        #: the context's blocks (section 3.3 / 4).
+        self.context = self.manager.create_context(
+            self.layout.slot_size, schema.__name__
+        )
+        # The vectorised engine resolves strided field views through the
+        # block's context; give it the slot layout.
+        self.context.layout = self.layout
+        # Register for reference navigation and direct-pointer rewriting.
+        registry = getattr(self.manager, "collections", None)
+        if registry is None:
+            registry = {}
+            self.manager.collections = registry  # type: ignore[attr-defined]
+        registry.setdefault(schema.__name__, self)
+        if auto_compact_occupancy is not None and not (
+            0.0 < auto_compact_occupancy < 1.0
+        ):
+            raise ValueError("auto_compact_occupancy must be in (0, 1)")
+        self.auto_compact_occupancy = auto_compact_occupancy
+        self._removals_since_check = 0
+        #: Secondary hash indexes (see :meth:`create_index`).
+        self._indexes: List["HashIndex"] = []
+        self._indexed_fields: Dict[str, List["HashIndex"]] = {}
+
+    # ------------------------------------------------------------------
+    # Reference encoding (indirect vs direct pointer mode, section 6)
+    # ------------------------------------------------------------------
+
+    def _ref_words(
+        self, field: RefField, value: Union[Handle, Ref, None]
+    ) -> Optional[Tuple[int, int]]:
+        """Convert a user-supplied reference into its stored word pair."""
+        if value is None:
+            return None
+        if isinstance(value, Ref):
+            ref = value
+        else:
+            ref = getattr(value, "ref", None)
+            if not isinstance(ref, Ref):
+                raise TypeError(
+                    f"field {field.name} expects a handle, Ref or None; "
+                    f"got {type(value).__name__}"
+                )
+        target_cls = field.resolve_target()
+        if not self.manager.direct_pointers:
+            return ref.entry, ref.inc
+        # Direct-pointer mode: store the raw address plus the slot-header
+        # incarnation of the target (paper section 6, Figure 5).
+        address = ref.address()
+        block = self.manager.space.block_at(address)
+        slot = block.slot_of_address(address)
+        del target_cls  # validated for effect
+        from repro.memory.indirection import INC_MASK
+
+        return address, int(block.slot_incs[slot]) & INC_MASK
+
+    def target_collection(self, field: RefField) -> "Collection":
+        """Collection hosting *field*'s target class (for navigation)."""
+        target_cls = field.resolve_target()
+        registry: Dict[str, Collection] = getattr(self.manager, "collections", {})
+        target = registry.get(target_cls.__name__)
+        if target is None:
+            raise TabularTypeError(
+                f"no collection for {target_cls.__name__} exists on this "
+                f"manager; create it before navigating references"
+            )
+        return target
+
+    # ------------------------------------------------------------------
+    # Containment semantics: Add / Remove (section 2)
+    # ------------------------------------------------------------------
+
+    def add(self, **values: Any) -> Handle:
+        """Create an object inside the collection; returns its handle.
+
+        Maps directly onto the memory manager's ``alloc`` (section 2): the
+        object is constructed in place in the collection's private blocks.
+        Construction is two-speed: a wide row is written with one combined
+        struct pack; a sparse one blits the default template and patches
+        only the supplied fields.
+        """
+        layout = self.layout
+        by_name = layout.by_name
+        for key in values:
+            if key not in by_name:
+                raise TypeError(f"{self.schema.__name__} has no field {key!r}")
+        manager = self.manager
+        block, slot, ref = manager.allocate_object(
+            self.context, defer_publish=True
+        )
+        off = block.object_offset + slot * layout.slot_size
+        buf = block.buf
+        if len(values) * 2 >= len(layout.fields):
+            layout.pack_full_row(buf, off, values, manager, self._ref_words)
+        else:
+            buf[off + 8 : off + layout.slot_size] = layout.template_body
+            for key, value in values.items():
+                field = by_name[key]
+                if isinstance(field, RefField):
+                    value = self._ref_words(field, value)
+                layout.write_field(buf, off, key, value, manager)
+        # Publish only the fully constructed object (paper section 2).
+        self.context.commit_slot(block, slot)
+        handle = Handle(self, ref)
+        for index in self._indexes:
+            index._insert(ref.entry, getattr(handle, index.field_name))
+        return handle
+
+    def remove(self, obj: Union[Handle, Ref]) -> None:
+        """End *obj*'s lifetime; all references to it become null.
+
+        Maps onto the memory manager's ``free``.  Strings owned by the
+        object are reclaimed with it (section 2).
+        """
+        ref = obj.ref if isinstance(obj, Handle) else obj
+        epochs = self.manager.epochs
+        epochs.enter_critical_section()
+        try:
+            address = ref.address()  # raises NullReferenceError if gone
+            block = self.manager.space.block_at(address)
+            off = self.manager.space.offset_of(address)
+            self.layout.release_owned(block.buf, off, self.manager)
+            self.manager.free_object(ref)
+        finally:
+            epochs.exit_critical_section()
+        for index in self._indexes:
+            index._delete(ref.entry)
+        if self.auto_compact_occupancy is not None:
+            self._maybe_auto_compact()
+
+    def create_index(self, field_name: str):
+        """Create (and keep maintained) a hash index on *field_name*."""
+        from repro.core.index import HashIndex
+
+        index = HashIndex(self, field_name)
+        self._indexes.append(index)
+        self._indexed_fields.setdefault(field_name, []).append(index)
+        return index
+
+    def create_sorted_index(self, field_name: str):
+        """Create (and keep maintained) a range index on *field_name*."""
+        from repro.core.index import SortedIndex
+
+        index = SortedIndex(self, field_name)
+        self._indexes.append(index)
+        self._indexed_fields.setdefault(field_name, []).append(index)
+        return index
+
+    def _notify_field_update(self, entry: int, field_name: str, value) -> None:
+        for index in self._indexed_fields.get(field_name, ()):
+            index._update(entry, value)
+
+    def _maybe_auto_compact(self, batch: int = 1) -> None:
+        """Compact when overall occupancy drops below the policy threshold.
+
+        Checked periodically (not on every removal) to keep removal cheap.
+        """
+        self._removals_since_check += batch
+        period = max(64, len(self) // 8)
+        if self._removals_since_check < period:
+            return
+        self._removals_since_check = 0
+        blocks = self.context.block_count()
+        if blocks < 2:
+            return
+        capacity = sum(b.slot_count for b in self.context.blocks())
+        if capacity and len(self) / capacity < self.auto_compact_occupancy:
+            self.compact(occupancy_threshold=self.auto_compact_occupancy)
+
+    def clear(self) -> int:
+        """Remove every object; returns the number removed."""
+        removed = 0
+        for handle in list(self):
+            self.remove(handle)
+            removed += 1
+        return removed
+
+    def remove_where(self, pred) -> int:
+        """Remove every object matching *pred* (an expression).
+
+        The predicate runs through the compiled query engine (one block
+        scan); matching objects are removed afterwards through their
+        references — the paper's single-enumeration predicate removal.
+        """
+        refs = self.query().where(pred).run().rows
+        removed = 0
+        for ref in refs:
+            self.manager.free_object_with_strings(self, ref)
+            for index in self._indexes:
+                index._delete(ref.entry)
+            removed += 1
+        if self.auto_compact_occupancy is not None:
+            self._maybe_auto_compact(batch=removed)
+        return removed
+
+    def update_where(self, pred, **values: Any) -> int:
+        """Set *values* on every object matching *pred*; returns the count."""
+        for key in values:
+            if key not in self.layout.by_name:
+                raise TypeError(f"{self.schema.__name__} has no field {key!r}")
+        refs = self.query().where(pred).run().rows
+        for ref in refs:
+            handle = self._handle(ref)
+            for key, value in values.items():
+                setattr(handle, key, value)
+        return len(refs)
+
+    # ------------------------------------------------------------------
+    # Enumeration (bag semantics, memory order)
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self.context.live_count
+
+    def __iter__(self) -> Iterator[Handle]:
+        """Enumerate live objects in memory order.
+
+        Each block is processed inside one critical section (the paper's
+        per-block granularity for lazily consumed enumerations, section 4).
+        """
+        manager = self.manager
+        from repro.query.runtime import scan_blocks
+
+        for block in scan_blocks(manager, self.context):
+            with manager.critical_section():
+                pairs = [
+                    (int(block.backptrs[slot]), block)
+                    for slot in block.valid_slots()
+                ]
+                handles = [
+                    Handle(self, Ref(manager, entry, manager.table.incarnation(entry)))
+                    for entry, __ in pairs
+                ]
+            yield from handles
+
+    def handles(self) -> List[Handle]:
+        return list(self)
+
+    def _handle(self, ref: Ref) -> Handle:
+        """Wrap *ref* in this collection's handle type (navigation hook)."""
+        return Handle(self, ref)
+
+    # ------------------------------------------------------------------
+    # Query surface (language-integrated query)
+    # ------------------------------------------------------------------
+
+    def query(self) -> "Query":
+        """Start a language-integrated query over this collection."""
+        from repro.query.builder import Query
+
+        return Query(self)
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+
+    def compact(self, occupancy_threshold: float = 0.3) -> int:
+        """Compact under-occupied blocks (section 5); returns #relocations."""
+        from repro.core.compaction import Compactor
+
+        compactor = self.manager.compactor
+        owned = False
+        if compactor is None:
+            compactor = Compactor(self.manager)
+            owned = True
+        try:
+            return compactor.compact_context(self.context, occupancy_threshold)
+        finally:
+            if owned:
+                compactor.detach()
+
+    def memory_bytes(self) -> int:
+        """Bytes mapped for this collection's data blocks."""
+        return self.context.total_bytes()
+
+    def blocks(self) -> List["Block"]:
+        return self.context.blocks()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<Collection {self.name} of {self.schema.__name__}: "
+            f"{len(self)} objects in {self.context.block_count()} blocks>"
+        )

@@ -1,0 +1,601 @@
+"""Compaction (paper section 5) and direct-pointer rewriting (section 6).
+
+When a collection shrinks heavily, under-occupied blocks are emptied into
+fresh blocks and returned to the block pool.  Relocating live objects
+without stopping the application extends the epoch scheme:
+
+* **Freezing epoch** (``e + 1``): the compactor selects blocks below the
+  occupancy threshold, packs them into *compaction groups* (each group's
+  survivors fit one destination block), builds per-block relocation lists
+  and sets the FROZEN bit on every scheduled object's incarnation word.
+* **Relocation epoch** (``e + 2``), *waiting phase*: threads that hit a
+  frozen object may still be racing with relocation, so they *bail out*
+  the relocation (mark it failed, unfreeze) and proceed.
+* **Relocation epoch**, *moving phase* (all threads observed in
+  ``e + 2``): the compactor — or any reader that reaches a frozen object
+  first ("helping") — locks the incarnation word, copies the object to its
+  destination slot, re-points the indirection entry, and unfreezes.
+* The compactor finally advances the epoch to ``e + 3`` and releases the
+  emptied source blocks (deferred by the usual two-epoch safety rule).
+
+Block-level consistency (section 5.2): queries scan all blocks of a
+compaction group consecutively in one thread-local epoch.  A query that
+reaches a group during the *moving* phase helps relocate it and scans the
+compacted destination block; during the *waiting* phase it defers the
+group, and if the moving phase still has not started, pins the group's
+pre-relocation state with a read counter that the compactor waits on
+(bailing out after a timeout).
+
+Direct-pointer mode (section 6): a moved object leaves a FORWARD-flagged
+tombstone in its old slot.  After the move, the compactor scans every
+collection whose schema holds direct references to the compacted type —
+probing a hash set of compacted block ids before following any pointer —
+and rewrites stale addresses; only then are the tombstoned source blocks
+released.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
+
+from repro.errors import ConcurrencyProtocolError
+from repro.memory.addressing import NULL_ADDRESS
+from repro.memory.indirection import FORWARD, FROZEN, INC_MASK, LOCKED
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.memory.block import Block
+    from repro.memory.context import MemoryContext
+    from repro.memory.manager import MemoryManager
+
+PENDING = 0
+FAILED = 1
+DONE = 2
+
+#: How long the compactor waits for a group's readers before bailing out.
+_READER_WAIT_TIMEOUT = 0.5
+_SPIN_SLEEP = 0.0001
+
+
+class RelocationItem:
+    """One scheduled object move (an entry of a block's relocation list)."""
+
+    __slots__ = ("from_block", "from_slot", "to_block", "to_slot", "entry", "status")
+
+    def __init__(
+        self,
+        from_block: "Block",
+        from_slot: int,
+        to_block: "Block",
+        to_slot: int,
+        entry: int,
+    ) -> None:
+        self.from_block = from_block
+        self.from_slot = from_slot
+        self.to_block = to_block
+        self.to_slot = to_slot
+        self.entry = entry
+        self.status = PENDING
+
+
+class CompactionGroup:
+    """A set of source blocks whose survivors move into one destination."""
+
+    def __init__(
+        self,
+        context: "MemoryContext",
+        sources: List["Block"],
+        dest: Optional["Block"],
+    ) -> None:
+        self.context = context
+        self.sources = sources
+        self.dest = dest
+        self.items: List[RelocationItem] = []
+        self.finished = False
+        self.failed = False
+        self.dest_attached = False
+        self._counter = 0
+        self._lock = threading.Lock()
+        for block in sources:
+            block.compaction_group = self
+            block.relocation_list = []
+
+    # -- query read counter (section 5.2) ------------------------------
+
+    def try_pin_prestate(self) -> bool:
+        """Increment the query counter unless relocation already happened."""
+        with self._lock:
+            if self.finished or self.failed:
+                return False
+            self._counter += 1
+            return True
+
+    def unpin_prestate(self) -> None:
+        with self._lock:
+            self._counter -= 1
+
+    @property
+    def reader_count(self) -> int:
+        with self._lock:
+            return self._counter
+
+
+class Compactor:
+    """Runs the compaction protocol against one memory manager."""
+
+    def __init__(self, manager: "MemoryManager") -> None:
+        if manager.compactor is not None:
+            raise ConcurrencyProtocolError("manager already has a compactor")
+        self.manager = manager
+        manager.compactor = self
+        self._items_by_entry: Dict[int, RelocationItem] = {}
+        self._cycle_lock = threading.Lock()
+        #: (ready_epoch, block, context) of emptied blocks awaiting release.
+        self._retired: List[Tuple[int, "Block"]] = []
+
+    def detach(self) -> None:
+        self.release_retired(force=True)
+        self.manager.compactor = None
+
+    # ------------------------------------------------------------------
+    # Public entry points
+    # ------------------------------------------------------------------
+
+    def compact_context(
+        self, context: "MemoryContext", occupancy_threshold: float = 0.3
+    ) -> int:
+        """Run one full compaction cycle on *context*.
+
+        Returns the number of objects relocated.  Safe to call while other
+        threads run queries; the caller becomes the compaction thread.
+        """
+        with self._cycle_lock:
+            self.release_retired()
+            groups = self._plan_groups(context, occupancy_threshold)
+            if not groups:
+                return 0
+            return self._run_cycle(context, groups)
+
+    def run_in_thread(
+        self, context: "MemoryContext", occupancy_threshold: float = 0.3
+    ) -> threading.Thread:
+        """Run a compaction cycle on a dedicated compaction thread."""
+        thread = threading.Thread(
+            target=self.compact_context,
+            args=(context, occupancy_threshold),
+            name="smc-compactor",
+            daemon=True,
+        )
+        thread.start()
+        return thread
+
+    # ------------------------------------------------------------------
+    # Planning (freezing-epoch work, part 1)
+    # ------------------------------------------------------------------
+
+    def _plan_groups(
+        self, context: "MemoryContext", occupancy_threshold: float
+    ) -> List[CompactionGroup]:
+        candidates = [
+            block
+            for block in context.compactable_blocks(occupancy_threshold)
+            if block.compaction_group is None
+        ]
+        if not candidates:
+            return []
+        groups: List[CompactionGroup] = []
+        bucket: List["Block"] = []
+        survivors = 0
+        capacity = candidates[0].slot_count
+        for block in candidates:
+            if bucket and survivors + block.valid_count > capacity:
+                groups.append(self._make_group(context, bucket, survivors))
+                bucket, survivors = [], 0
+            bucket.append(block)
+            survivors += block.valid_count
+        if bucket:
+            groups.append(self._make_group(context, bucket, survivors))
+        return groups
+
+    def _make_group(
+        self, context: "MemoryContext", sources: List["Block"], survivors: int
+    ) -> CompactionGroup:
+        dest = self.manager._acquire_block(context) if survivors else None
+        return CompactionGroup(context, list(sources), dest)
+
+    # ------------------------------------------------------------------
+    # The compaction cycle (sections 5.1 / 5.2)
+    # ------------------------------------------------------------------
+
+    #: Maximum freeze/relocate rounds per cycle.  Readers bailing out
+    #: relocations in the waiting phase leave FAILED items behind; the
+    #: paper retries them by "adding another freezing phase at the end of
+    #: the relocation epoch" (section 5.1).  Groups still incomplete after
+    #: the last round are abandoned for this cycle.
+    MAX_ROUNDS = 4
+
+    def _run_cycle(
+        self, context: "MemoryContext", groups: List[CompactionGroup]
+    ) -> int:
+        manager = self.manager
+        epochs = manager.epochs
+        moved = 0
+        with epochs.critical_section() as e:
+            epochs.restrict_advancement(threading.get_ident())
+            base = e
+            try:
+                self._build_relocation_lists(groups)
+                for round_no in range(self.MAX_ROUNDS):
+                    # --- freezing epoch: global becomes base + 1 ---------
+                    self._advance_until(base + 1)
+                    manager.next_relocation_epoch = base + 2
+                    self._freeze_pending(groups)
+                    # --- relocation epoch: global becomes base + 2 -------
+                    self._wait_others(base + 1)
+                    self._advance_until(base + 2)
+                    manager.in_moving_phase = False
+                    # Waiting phase: readers that hit frozen objects bail
+                    # them out; once every other in-critical thread reached
+                    # base + 2 we may start moving.
+                    self._wait_others(base + 2)
+                    manager.in_moving_phase = True
+                    for group in groups:
+                        moved += self._relocate_group(group)
+                    manager.in_moving_phase = False
+                    manager.next_relocation_epoch = None
+                    # --- leave the relocation epoch: base + 3 ------------
+                    self._advance_until(base + 3)
+                    base += 3
+                    if not any(self._retryable_items(g) for g in groups):
+                        break
+                    for group in groups:
+                        for item in self._retryable_items(group):
+                            item.status = PENDING
+                # Groups whose items never all completed stay in place.
+                for group in groups:
+                    if not group.finished and not group.failed:
+                        if any(i.status != DONE for i in group.items):
+                            self._fail_group(group)
+                        else:
+                            self._finish_group(group)
+            finally:
+                manager.in_moving_phase = False
+                manager.next_relocation_epoch = None
+                epochs.restrict_advancement(None)
+        # Outside the critical section: rewrite direct pointers into the
+        # compacted blocks, then retire the emptied sources.
+        moved_ids = {
+            blk.block_id for g in groups if not g.failed for blk in g.sources
+        }
+        if moved_ids and manager.direct_pointers:
+            self._rewrite_direct_pointers(context, moved_ids)
+        for group in groups:
+            self._retire_group(group)
+        self._items_by_entry.clear()
+        manager.stats.compactions += 1
+        manager.stats.relocations += moved
+        return moved
+
+    def _advance_until(self, target: int) -> None:
+        epochs = self.manager.epochs
+        while epochs.global_epoch < target:
+            if not epochs.try_advance():
+                time.sleep(_SPIN_SLEEP)
+
+    def _wait_others(self, epoch: int) -> None:
+        epochs = self.manager.epochs
+        while not epochs.others_at_least(epoch):
+            time.sleep(_SPIN_SLEEP)
+
+    # ------------------------------------------------------------------
+    # Freezing
+    # ------------------------------------------------------------------
+
+    def _build_relocation_lists(self, groups: List[CompactionGroup]) -> None:
+        """Populate each block's relocation list (freezing-epoch step 1)."""
+        table = self.manager.table
+        for group in groups:
+            if group.dest is None:
+                continue
+            next_slot = 0
+            for block in group.sources:
+                for slot in block.valid_slots():
+                    slot = int(slot)
+                    entry = int(block.backptrs[slot])
+                    # An object freed between planning and freezing must be
+                    # skipped: its entry may already serve another object.
+                    if table.address_of(entry) != block.slot_address(slot):
+                        continue
+                    item = RelocationItem(block, slot, group.dest, next_slot, entry)
+                    next_slot += 1
+                    group.items.append(item)
+                    block.relocation_list.append(item)
+                    self._items_by_entry[entry] = item
+
+    def _freeze_pending(self, groups: List[CompactionGroup]) -> None:
+        """Set FROZEN on every still-pending scheduled entry."""
+        table = self.manager.table
+        for group in groups:
+            if group.failed or group.finished:
+                continue
+            for item in group.items:
+                if item.status == PENDING:
+                    table.set_flags(item.entry, FROZEN)
+
+    def _retryable_items(self, group: CompactionGroup) -> List[RelocationItem]:
+        if group.failed or group.finished:
+            return []
+        return [i for i in group.items if i.status == FAILED]
+
+    # ------------------------------------------------------------------
+    # Moving
+    # ------------------------------------------------------------------
+
+    def _relocate_group(self, group: CompactionGroup) -> int:
+        """Move all pending items of *group*; returns the number moved.
+
+        Waits for pre-state readers to drain, bailing out after a timeout
+        (section 5.2: queries may return control to the application while
+        holding the read lock).
+        """
+        if group.finished or group.failed:
+            return 0
+        deadline = time.monotonic() + _READER_WAIT_TIMEOUT
+        while group.reader_count > 0:
+            if time.monotonic() > deadline:
+                self._fail_group(group)
+                return 0
+            time.sleep(_SPIN_SLEEP)
+        moved = 0
+        for item in group.items:
+            if self._move_item_locked(item):
+                moved += 1
+        if all(item.status == DONE for item in group.items):
+            self._finish_group(group)
+        return moved
+
+    def _move_item_locked(self, item: RelocationItem) -> bool:
+        """Lock, move if still pending, unlock.  Returns True if we moved it."""
+        table = self.manager.table
+        entry = item.entry
+        while not table.try_lock(entry):
+            time.sleep(_SPIN_SLEEP)
+        try:
+            if item.status != PENDING:
+                return False
+            word = table.incarnation_word(entry)
+            if not word & FROZEN:
+                # A reader bailed it out between status check and lock.
+                item.status = FAILED
+                return False
+            self._copy_object(item)
+            item.status = DONE
+            return True
+        finally:
+            self._unfreeze_after_move(item)
+
+    def _copy_object(self, item: RelocationItem) -> None:
+        """Copy the slot bytes and re-point the indirection entry.
+
+        The source slot directory entry moves to LIMBO and the destination
+        block is attached to the context on the group's first successful
+        move, so scans started at any point see each live object exactly
+        once: moved objects in the destination, unmoved ones in the
+        (still-attached) sources.
+        """
+        src, dst = item.from_block, item.to_block
+        size = src.slot_size
+        src_off = src.object_offset + item.from_slot * size
+        dst_off = dst.object_offset + item.to_slot * size
+        dst.buf[dst_off : dst_off + size] = src.buf[src_off : src_off + size]
+        dst.backptrs[item.to_slot] = item.entry
+        dst.mark_valid(item.to_slot)
+        self.manager.table.set_address(item.entry, dst.slot_address(item.to_slot))
+        group: CompactionGroup = src.compaction_group
+        if group is not None and not group.dest_attached:
+            group.dest_attached = True
+            group.context._attach_block(dst)
+        src.mark_limbo(item.from_slot, self.manager.epochs.global_epoch)
+
+    def _unfreeze_after_move(self, item: RelocationItem) -> None:
+        """Clear FROZEN+LOCKED; leave a FORWARD tombstone in direct mode.
+
+        The paper sets the forwarding flag in the same atomic operation
+        that unsets the frozen and lock bits (section 6).
+        """
+        table = self.manager.table
+        if item.status == DONE and self.manager.direct_pointers:
+            src = item.from_block
+            word = int(src.slot_incs[item.from_slot])
+            src.slot_incs[item.from_slot] = (word & INC_MASK) | FORWARD
+        table.clear_flags(item.entry, FROZEN | LOCKED)
+
+    def _fail_group(self, group: CompactionGroup) -> None:
+        """Abandon a group this cycle (readers held it too long).
+
+        Already-moved objects stay in the (attached) destination block;
+        source slots they vacated are limbo.  Unmoved objects remain in
+        their source blocks, which revert to ordinary blocks.
+        """
+        table = self.manager.table
+        not_done = 0
+        for item in group.items:
+            while not table.try_lock(item.entry):
+                time.sleep(_SPIN_SLEEP)
+            if item.status == PENDING:
+                item.status = FAILED
+                table.clear_flags(item.entry, FROZEN | LOCKED)
+            else:
+                table.clear_flags(item.entry, LOCKED)
+            if item.status != DONE:
+                not_done += 1
+        group.failed = True
+        self.manager.stats.failed_relocations += not_done
+        if (
+            group.dest is not None
+            and not group.dest_attached
+            and group.dest.valid_count == 0
+        ):
+            self.manager._release_block(group.dest)
+        for block in group.sources:
+            block.compaction_group = None
+            block.relocation_list = None
+
+    def _finish_group(self, group: CompactionGroup) -> None:
+        """Detach the emptied sources; the destination was attached at the
+        group's first successful move."""
+        if group.finished:
+            return
+        context = group.context
+        with group._lock:
+            if group.finished:
+                return
+            group.finished = True
+        if group.dest is not None and not group.dest_attached:
+            # Nothing was moved (empty group): recycle the destination.
+            self.manager._release_block(group.dest)
+        for block in group.sources:
+            context.detach_block(block)
+
+    def _retire_group(self, group: CompactionGroup) -> None:
+        if group.failed or not group.finished:
+            return
+        ready = self.manager.epochs.global_epoch + 2
+        for block in group.sources:
+            self._retired.append((ready, block))
+
+    def release_retired(self, force: bool = False) -> int:
+        """Release retired source blocks whose safety epoch has passed."""
+        epoch = self.manager.epochs.global_epoch
+        keep: List[Tuple[int, "Block"]] = []
+        released = 0
+        for ready, block in self._retired:
+            if force or ready <= epoch:
+                block.compaction_group = None
+                block.relocation_list = None
+                # Moved-out objects left their source slots formally VALID
+                # for pre-state readers; scrub before returning to the pool.
+                block.directory.fill(0)
+                block.valid_count = 0
+                block.limbo_count = 0
+                self.manager._release_block(block)
+                released += 1
+            else:
+                keep.append((ready, block))
+        self._retired = keep
+        return released
+
+    # ------------------------------------------------------------------
+    # Reader cooperation (dereference slow path, section 5.1 cases b/c)
+    # ------------------------------------------------------------------
+
+    def bail_out_relocation(self, entry: int) -> None:
+        """Waiting phase: mark the entry's relocation failed and unfreeze."""
+        table = self.manager.table
+        item = self._items_by_entry.get(entry)
+        if item is None:
+            table.clear_flags(entry, FROZEN)
+            return
+        while not table.try_lock(entry):
+            time.sleep(_SPIN_SLEEP)
+        if item.status == PENDING and table.incarnation_word(entry) & FROZEN:
+            item.status = FAILED
+            self.manager.stats.bailed_relocations += 1
+            table.clear_flags(entry, FROZEN | LOCKED)
+        else:
+            table.clear_flags(entry, LOCKED)
+
+    def help_relocation(self, entry: int) -> None:
+        """Moving phase: perform the entry's relocation on the reader thread."""
+        table = self.manager.table
+        item = self._items_by_entry.get(entry)
+        if item is None:
+            table.clear_flags(entry, FROZEN)
+            return
+        while not table.try_lock(entry):
+            time.sleep(_SPIN_SLEEP)
+        try:
+            if item.status == PENDING and table.incarnation_word(entry) & FROZEN:
+                self._copy_object(item)
+                item.status = DONE
+                self.manager.stats.helped_relocations += 1
+        finally:
+            self._unfreeze_after_move(item)
+
+    def help_group(self, group: CompactionGroup) -> Optional["Block"]:
+        """Moving phase, block scans: relocate the whole group, return dest.
+
+        Used by queries that reach a compaction group's blocks during the
+        moving phase (section 5.2): first help perform the relocation, then
+        process the compacted block.  Pre-state readers that pinned the
+        group with its query counter block the relocation; after the same
+        timeout the compactor uses, the group is failed and ``None`` is
+        returned (scan the pre-state sources instead).
+        """
+        deadline = time.monotonic() + _READER_WAIT_TIMEOUT
+        while group.reader_count > 0:
+            if time.monotonic() > deadline:
+                self._fail_group(group)
+                return None
+            time.sleep(_SPIN_SLEEP)
+        for item in group.items:
+            self._move_item_locked(item)
+        self._finish_group(group)
+        return group.dest
+
+    # ------------------------------------------------------------------
+    # Direct-pointer rewriting (section 6)
+    # ------------------------------------------------------------------
+
+    def _rewrite_direct_pointers(
+        self, context: "MemoryContext", moved_block_ids: Set[int]
+    ) -> int:
+        """Rewrite direct references that point into compacted blocks.
+
+        The referrer SMCs are statically known from the schemas; before
+        following any stored pointer we probe the compacted-block hash set
+        with the pointer's block id — the paper's optimisation to avoid
+        random memory accesses for unaffected references.
+        """
+        manager = self.manager
+        space = manager.space
+        target_name = context.name
+        registry = getattr(manager, "collections", {})
+        rewritten = 0
+        for coll in registry.values():
+            ref_fields = [
+                f
+                for f in coll.layout.ref_fields
+                if f.resolve_target().__name__ == target_name
+            ]
+            if not ref_fields:
+                continue
+            slot_size = coll.layout.slot_size
+            for block in coll.context.blocks():
+                for slot in block.valid_slots():
+                    base = block.object_offset + int(slot) * slot_size
+                    for f in ref_fields:
+                        off = base + f.offset
+                        word, inc = f.decode_words(block.buf, off)
+                        if word == NULL_ADDRESS:
+                            continue
+                        if (word >> space.block_shift) not in moved_block_ids:
+                            continue
+                        src_block = space.try_block_at(word)
+                        if src_block is None:
+                            continue
+                        src_slot = src_block.slot_of_address(word)
+                        src_word = int(src_block.slot_incs[src_slot])
+                        if not src_word & FORWARD:
+                            continue
+                        entry = int(src_block.backptrs[src_slot])
+                        new_addr = manager.table.address_of(entry)
+                        if new_addr == NULL_ADDRESS:
+                            continue
+                        new_block = space.block_at(new_addr)
+                        new_slot = new_block.slot_of_address(new_addr)
+                        new_inc = int(new_block.slot_incs[new_slot]) & INC_MASK
+                        f.encode_words(block.buf, off, new_addr, new_inc)
+                        rewritten += 1
+        return rewritten

@@ -1,0 +1,211 @@
+"""Live-object handles.
+
+A handle is the application-facing façade of one self-managed object: it
+pairs a :class:`~repro.memory.reference.Ref` with the object's slot layout
+and performs the paper's dereference protocol on every attribute access.
+Handles are what ``Collection.add`` returns and what reference fields
+navigate to — the moral equivalent of an object reference in the paper's
+modified runtime, with the JIT-injected incarnation checks performed in
+library code instead (exactly how the paper's own evaluation prototype
+works, section 7).
+
+Attribute reads and writes re-validate the reference each time; once the
+object is removed from its collection every access raises
+:class:`~repro.errors.NullReferenceError` (section 2 semantics).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, Optional
+
+from repro.errors import NullReferenceError
+from repro.memory.addressing import NULL_ADDRESS
+from repro.memory.indirection import FLAG_MASK, FORWARD, INC_MASK
+from repro.schema.fields import RefField
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.collection import Collection
+    from repro.memory.manager import MemoryManager
+    from repro.memory.reference import Ref
+
+
+class Handle:
+    """A checked view of one live self-managed object."""
+
+    __slots__ = ("_collection", "_ref")
+
+    def __init__(self, collection: "Collection", ref: "Ref") -> None:
+        object.__setattr__(self, "_collection", collection)
+        object.__setattr__(self, "_ref", ref)
+
+    # ------------------------------------------------------------------
+    # Identity
+    # ------------------------------------------------------------------
+
+    @property
+    def ref(self) -> "Ref":
+        return self._ref
+
+    @property
+    def collection(self) -> "Collection":
+        return self._collection
+
+    @property
+    def is_alive(self) -> bool:
+        return self._ref.is_alive
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Handle):
+            return self._ref == other._ref
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._ref)
+
+    # ------------------------------------------------------------------
+    # Field access
+    # ------------------------------------------------------------------
+
+    # Every attribute access runs inside a critical section: the paper's
+    # runtime injects enter/exit around each dereference (section 3.4), so
+    # the resolved address stays valid while the field bytes are read.
+
+    def __getattr__(self, name: str) -> Any:
+        collection = self._collection
+        field = collection.layout.by_name.get(name)
+        if field is None:
+            raise AttributeError(
+                f"{collection.schema.__name__} has no field {name!r}"
+            )
+        manager = collection.manager
+        epochs = manager.epochs
+        epochs.enter_critical_section()
+        try:
+            address = self._ref.address()
+            block = manager.space.block_at(address)
+            off = manager.space.offset_of(address) + field.offset
+            if isinstance(field, RefField):
+                return _read_ref_field(collection, field, block.buf, off)
+            return field.decode_from(block.buf, off, manager)
+        finally:
+            epochs.exit_critical_section()
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        collection = self._collection
+        field = collection.layout.by_name.get(name)
+        if field is None:
+            raise AttributeError(
+                f"{collection.schema.__name__} has no field {name!r}"
+            )
+        manager = collection.manager
+        epochs = manager.epochs
+        epochs.enter_critical_section()
+        try:
+            address = self._ref.address()
+            block = manager.space.block_at(address)
+            off = manager.space.offset_of(address)
+            if isinstance(field, RefField):
+                pair = collection._ref_words(field, value)
+                collection.layout.write_field(
+                    block.buf, off, name, pair, manager
+                )
+            else:
+                collection.layout.write_field(
+                    block.buf, off, name, value, manager
+                )
+                notify = getattr(collection, "_notify_field_update", None)
+                if notify is not None:
+                    notify(self._ref.entry, name, field.from_raw(field.to_raw(value)))
+        finally:
+            epochs.exit_critical_section()
+
+    # ------------------------------------------------------------------
+    # Bulk access
+    # ------------------------------------------------------------------
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Decode all fields; RefFields become handles (or ``None``)."""
+        return {f.name: getattr(self, f.name) for f in self._collection.layout.fields}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        name = self._collection.schema.__name__
+        if not self.is_alive:
+            return f"<{name} handle (null)>"
+        fields = ", ".join(
+            f"{f.name}={getattr(self, f.name)!r}"
+            for f in self._collection.layout.fields[:4]
+        )
+        more = "..." if len(self._collection.layout.fields) > 4 else ""
+        return f"<{name} {fields}{more}>"
+
+
+def _read_ref_field(
+    collection: "Collection", field: RefField, buf, off: int
+) -> Optional[Handle]:
+    """Decode a stored reference field into a handle of the target class."""
+    word, inc = field.decode_words(buf, off)
+    if word == NULL_ADDRESS:
+        return None
+    manager = collection.manager
+    target = collection.target_collection(field)
+    from repro.memory.reference import Ref
+
+    if manager.direct_pointers:
+        address = resolve_direct_pointer(manager, word, inc, buf, off, field)
+        block = manager.space.block_at(address)
+        slot = block.slot_of_address(address)
+        entry = int(block.backptrs[slot])
+        return target._handle(
+            Ref(manager, entry, manager.table.incarnation(entry))
+        )
+    return target._handle(Ref(manager, word, inc))
+
+
+def resolve_direct_pointer(
+    manager: "MemoryManager",
+    address: int,
+    inc: int,
+    src_buf=None,
+    src_off: Optional[int] = None,
+    field: Optional[RefField] = None,
+) -> int:
+    """Resolve a direct in-row pointer, following forwarding tombstones.
+
+    Direct pointers (paper section 6) are validated against the *slot
+    header* incarnation.  A relocated object leaves a FORWARD-flagged
+    tombstone; readers follow the slot's back-pointer to the indirection
+    entry, pick up the new address, and heal the source field so future
+    accesses are direct again.
+    """
+    space = manager.space
+    hops = 0
+    while True:
+        block = space.try_block_at(address)
+        if block is None:
+            raise NullReferenceError(f"direct pointer {address:#x} is dangling")
+        slot = block.slot_of_address(address)
+        word = int(block.slot_incs[slot])
+        if (word & INC_MASK) != (inc & INC_MASK):
+            raise NullReferenceError(
+                f"direct pointer to freed slot (incarnation mismatch)"
+            )
+        if not word & FLAG_MASK:
+            return address
+        if word & FORWARD:
+            # Tombstone: the indirection entry knows the new location.
+            entry = int(block.backptrs[slot])
+            new_address = manager.table.address_of(entry)
+            new_block = space.block_at(new_address)
+            new_slot = new_block.slot_of_address(new_address)
+            new_inc = int(new_block.slot_incs[new_slot]) & INC_MASK
+            if src_buf is not None and field is not None and src_off is not None:
+                field.encode_words(src_buf, src_off, new_address, new_inc)
+            address, inc = new_address, new_inc
+            hops += 1
+            if hops > 64:
+                raise NullReferenceError("forwarding chain too long")
+            continue
+        # FROZEN / LOCKED during an active compaction: fall back to the
+        # indirection entry, which handles the three relocation cases.
+        entry = int(block.backptrs[slot])
+        return manager._deref_frozen(entry, manager.table.incarnation(entry))

@@ -1,0 +1,57 @@
+"""Exception types for the SMC runtime.
+
+The paper (EDBT 2017, section 2) specifies that dereferencing a reference to
+an object that has been removed from its host collection raises a
+null-reference exception.  We mirror the .NET exception names with Python
+naming conventions.
+"""
+
+from __future__ import annotations
+
+
+class SmcError(Exception):
+    """Base class for all errors raised by the SMC runtime."""
+
+
+class NullReferenceError(SmcError):
+    """Raised when dereferencing a reference whose object has been freed.
+
+    This is the Python analogue of the ``NullReferenceException`` the paper's
+    runtime throws when the incarnation number stored in a reference no
+    longer matches the incarnation number of its indirection-table entry
+    (section 3.1).
+    """
+
+
+class TabularTypeError(SmcError, TypeError):
+    """Raised when a class violates the static rules for tabular types.
+
+    Section 2 of the paper requires that tabular classes only reference
+    other tabular classes, are not defined on base classes or interfaces,
+    and have a fixed size and memory layout.
+    """
+
+
+class MemoryExhaustedError(SmcError, MemoryError):
+    """Raised when the address space cannot host another block."""
+
+
+class IncarnationOverflowError(SmcError):
+    """Raised internally when a slot's 29-bit incarnation counter overflows.
+
+    The paper (section 3.1) stops reusing such memory slots; callers treat
+    this as "retire the slot".
+    """
+
+
+class CollectionClosedError(SmcError):
+    """Raised when operating on a collection after its manager was closed."""
+
+
+class ConcurrencyProtocolError(SmcError):
+    """Raised when the epoch/compaction protocol is used incorrectly.
+
+    Examples: freeing an object outside any registered thread, exiting a
+    critical section that was never entered, or starting a compaction while
+    one is already running.
+    """

@@ -1,0 +1,5 @@
+"""Persistence: binary snapshots of self-managed collections."""
+
+from repro.io.snapshot import SnapshotError, load_collections, save_collections
+
+__all__ = ["SnapshotError", "load_collections", "save_collections"]

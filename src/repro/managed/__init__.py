@@ -1,0 +1,5 @@
+"""Managed baseline collections and the garbage-collection cost models."""
+
+from repro.managed.collections_ import ManagedBag, ManagedDictionary, ManagedList
+
+__all__ = ["ManagedBag", "ManagedDictionary", "ManagedList"]

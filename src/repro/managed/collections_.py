@@ -1,0 +1,187 @@
+"""Managed baseline collections (the paper's comparison targets).
+
+The paper's evaluation (section 7) compares SMCs against the standard C#
+collections holding ordinary managed objects:
+
+* ``List<T>`` — the fastest baseline, **not** thread-safe;
+* ``ConcurrentBag<T>`` — thread-safe, but does not support removing a
+  *specific* object;
+* ``ConcurrentDictionary<TKey, TValue>`` — the only thread-safe collection
+  with functionality comparable to SMCs (targeted removal).
+
+The Python analogues hold plain generated record objects
+(:meth:`repro.schema.tabular.Tabular.managed_class`) on the ordinary
+Python heap, where the garbage collector must track every one of them.
+They share the query surface of SMCs: ``.query()`` runs the same logical
+plans through the interpreter or the ``managed`` compiled backend.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, Iterator, List, Optional, Type
+
+from repro.schema.tabular import Tabular
+
+
+class _ManagedBase:
+    """Shared query-source protocol of the managed collections."""
+
+    compiled_flavor = "managed"
+
+    schema: Type[Tabular]
+
+    def query(self):
+        from repro.query.builder import Query
+
+        return Query(self)
+
+    def records_list(self) -> List[Any]:
+        raise NotImplementedError
+
+    def iter_rows(self) -> Iterator[Any]:
+        return iter(self.records_list())
+
+    def new_record(self, **values: Any) -> Any:
+        """Allocate a managed record object (not yet inserted)."""
+        return self.schema.managed_class()(**values)
+
+
+class ManagedList(_ManagedBase):
+    """Python analogue of ``List<T>``: a dynamic array, not thread-safe."""
+
+    def __init__(self, schema: Type[Tabular]) -> None:
+        self.schema = schema
+        self._records: List[Any] = []
+
+    def add(self, record: Any = None, **values: Any) -> Any:
+        if record is None:
+            record = self.new_record(**values)
+        self._records.append(record)
+        return record
+
+    def remove(self, record: Any) -> None:
+        """Remove one occurrence of *record* (O(n), as in ``List<T>``)."""
+        self._records.remove(record)
+
+    def remove_where(self, pred) -> int:
+        """Bulk-remove records matching *pred*; returns the count removed.
+
+        Rebuilds the backing array in one pass — the idiomatic way to
+        filter a list both in C# (``RemoveAll``) and Python.
+        """
+        before = len(self._records)
+        self._records = [r for r in self._records if not pred(r)]
+        return before - len(self._records)
+
+    def records_list(self) -> List[Any]:
+        return self._records
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self._records)
+
+    def clear(self) -> None:
+        self._records.clear()
+
+
+class ManagedBag(_ManagedBase):
+    """Python analogue of ``ConcurrentBag<T>``.
+
+    Thread-safe unordered insertion; like the original, it does **not**
+    support removing a specific element (the paper excludes it from the
+    refresh-stream benchmark for exactly this reason).
+    """
+
+    def __init__(self, schema: Type[Tabular]) -> None:
+        self.schema = schema
+        self._records: List[Any] = []
+        self._lock = threading.Lock()
+
+    def add(self, record: Any = None, **values: Any) -> Any:
+        if record is None:
+            record = self.new_record(**values)
+        with self._lock:
+            self._records.append(record)
+        return record
+
+    def try_take(self) -> Optional[Any]:
+        """Remove and return an arbitrary element (LIFO), or ``None``."""
+        with self._lock:
+            return self._records.pop() if self._records else None
+
+    def records_list(self) -> List[Any]:
+        with self._lock:
+            return list(self._records)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self.records_list())
+
+    def clear(self) -> None:
+        with self._lock:
+            self._records.clear()
+
+
+class ManagedDictionary(_ManagedBase):
+    """Python analogue of ``ConcurrentDictionary<TKey, TValue>``.
+
+    Thread-safe keyed insertion and targeted removal — the paper's
+    best-performing thread-safe managed competitor.
+    """
+
+    def __init__(self, schema: Type[Tabular], key: Optional[str] = None) -> None:
+        self.schema = schema
+        #: Name of the record attribute used as the key when none is given.
+        self.key_attr = key
+        self._records: Dict[Any, Any] = {}
+        self._lock = threading.Lock()
+        self._seq = 0
+
+    def _key_for(self, record: Any, key: Any) -> Any:
+        if key is not None:
+            return key
+        if self.key_attr is not None:
+            return getattr(record, self.key_attr)
+        self._seq += 1
+        return self._seq
+
+    def add(self, record: Any = None, key: Any = None, **values: Any) -> Any:
+        if record is None:
+            record = self.new_record(**values)
+        with self._lock:
+            self._records[self._key_for(record, key)] = record
+        return record
+
+    def remove(self, key: Any) -> bool:
+        """Remove the record stored under *key*; True if it existed."""
+        with self._lock:
+            return self._records.pop(key, None) is not None
+
+    def get(self, key: Any) -> Optional[Any]:
+        with self._lock:
+            return self._records.get(key)
+
+    def records_list(self) -> List[Any]:
+        with self._lock:
+            return list(self._records.values())
+
+    def keys(self) -> List[Any]:
+        with self._lock:
+            return list(self._records.keys())
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self.records_list())
+
+    def clear(self) -> None:
+        with self._lock:
+            self._records.clear()

@@ -1,0 +1,218 @@
+"""Generational stop-the-world GC cost model + a real-CPython GC probe.
+
+Why this exists (see DESIGN.md, substitution table): Figure 9 of the paper
+measures the longest application pause caused by the .NET generational
+collector as a function of how many objects live in a collection, in two
+modes — *batch* (non-concurrent: the whole collection pauses all threads)
+and *interactive* (concurrent: most marking happens on a background
+thread, only a short stop-the-world phase remains).  CPython uses
+reference counting plus a non-moving cycle collector, so the .NET pause
+behaviour cannot be observed natively.  This module provides:
+
+:class:`SimulatedHeap`
+    a faithful cost model of a two-generation stop-the-world collector:
+    a nursery with a fixed allocation budget triggers minor collections
+    whose pause is proportional to the survivors; survivors promote, and
+    promotion growth triggers major collections whose pause is
+    proportional to the *total live old-generation objects* — exactly the
+    mechanism behind Figure 9's linear pause growth.  In interactive mode
+    only a fixed fraction of the major pause stops the world; the rest
+    runs concurrently and is accounted as stolen CPU time.
+
+:func:`real_gc_probe`
+    a genuine CPython measurement: time ``gc.collect()`` while N objects
+    are tracked by the interpreter (managed collection) versus while the
+    same data lives inside SMC blocks (bytearrays are a single untracked
+    buffer each).  This shows the real Python analogue of the paper's
+    claim — collector work scales with tracked objects, and SMCs remove
+    their objects from the collector's view entirely.
+
+Default cost constants are calibrated so a 40-million-object managed
+collection produces a multi-second batch pause, matching the magnitude of
+Figure 9.
+"""
+
+from __future__ import annotations
+
+import gc
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass
+class GcParams:
+    """Cost constants of the simulated collector."""
+
+    #: Nursery size: a minor collection triggers per this many bytes.
+    nursery_bytes: int = 4 * 1024 * 1024
+    #: Fixed minor-collection pause (seconds).
+    minor_base: float = 50e-6
+    #: Pause per surviving (promoted) object in a minor collection.
+    minor_per_survivor: float = 40e-9
+    #: Fixed major-collection pause.
+    major_base: float = 1e-3
+    #: Pause per live old-generation object scanned in a major collection.
+    major_per_live: float = 85e-9
+    #: A major collection triggers when promoted bytes since the last one
+    #: exceed this fraction of old-generation live bytes.
+    major_trigger_fraction: float = 0.25
+    #: Interactive (concurrent) mode: fraction of major work that still
+    #: stops the world; the remainder runs on a background thread.
+    interactive_stw_fraction: float = 0.06
+    #: Fraction of one core the background collection steals while active.
+    background_cpu_fraction: float = 0.35
+
+
+@dataclass
+class GcStats:
+    minor_collections: int = 0
+    major_collections: int = 0
+    pauses: List[float] = field(default_factory=list)
+    total_pause: float = 0.0
+    background_cpu: float = 0.0
+
+    @property
+    def max_pause(self) -> float:
+        return max(self.pauses, default=0.0)
+
+
+class SimulatedHeap:
+    """Two-generation stop-the-world collector cost model.
+
+    The heap tracks *counts and bytes*, not real objects: callers declare
+    allocations (optionally long-lived) and a pinned old-generation
+    population (the benchmark collection), and the model reports the
+    pauses a generational collector would have inflicted.
+    """
+
+    def __init__(self, mode: str = "batch", params: Optional[GcParams] = None) -> None:
+        if mode not in ("batch", "interactive"):
+            raise ValueError("mode must be 'batch' or 'interactive'")
+        self.mode = mode
+        self.params = params or GcParams()
+        self.clock = 0.0
+        self.stats = GcStats()
+        self._nursery_bytes = 0
+        self._nursery_objects: List[Tuple[int, bool]] = []
+        self.old_live_objects = 0
+        self.old_live_bytes = 0
+        self._promoted_since_major = 0
+
+    # ------------------------------------------------------------------
+
+    def pin_old_generation(self, objects: int, avg_size: int) -> None:
+        """Declare a long-lived population (e.g. a loaded collection)."""
+        self.old_live_objects += objects
+        self.old_live_bytes += objects * avg_size
+
+    def allocate(self, size: int, long_lived: bool = False) -> None:
+        """Simulate allocating one object of *size* bytes."""
+        self._nursery_bytes += size
+        self._nursery_objects.append((size, long_lived))
+        if self._nursery_bytes >= self.params.nursery_bytes:
+            self._minor_collection()
+
+    def advance(self, seconds: float) -> None:
+        """Account compute time between allocations."""
+        self.clock += seconds
+
+    # ------------------------------------------------------------------
+
+    def _minor_collection(self) -> None:
+        p = self.params
+        survivors = [(s, ll) for s, ll in self._nursery_objects if ll]
+        pause = p.minor_base + len(survivors) * p.minor_per_survivor
+        self._record_pause(pause)
+        self.stats.minor_collections += 1
+        promoted_bytes = sum(s for s, __ in survivors)
+        self.old_live_objects += len(survivors)
+        self.old_live_bytes += promoted_bytes
+        self._promoted_since_major += promoted_bytes
+        self._nursery_bytes = 0
+        self._nursery_objects.clear()
+        trigger = max(
+            p.nursery_bytes, self.old_live_bytes * p.major_trigger_fraction
+        )
+        if self._promoted_since_major >= trigger:
+            self._major_collection()
+
+    def _major_collection(self) -> None:
+        p = self.params
+        work = p.major_base + self.old_live_objects * p.major_per_live
+        if self.mode == "batch":
+            self._record_pause(work)
+        else:
+            stw = p.major_base + work * p.interactive_stw_fraction
+            self._record_pause(stw)
+            # Background marking steals CPU without stopping the world.
+            background = work - stw
+            self.stats.background_cpu += background
+            self.clock += background * p.background_cpu_fraction
+        self.stats.major_collections += 1
+        self._promoted_since_major = 0
+
+    def _record_pause(self, pause: float) -> None:
+        self.stats.pauses.append(pause)
+        self.stats.total_pause += pause
+        self.clock += pause
+
+    # ------------------------------------------------------------------
+
+    def force_major(self) -> float:
+        """Run a major collection now; returns its pause."""
+        before = self.stats.total_pause
+        self._major_collection()
+        return self.stats.total_pause - before
+
+    @property
+    def max_pause(self) -> float:
+        return self.stats.max_pause
+
+
+def longest_timeout(
+    collection_objects: int,
+    mode: str,
+    churn_objects: int = 200_000,
+    object_size: int = 160,
+    params: Optional[GcParams] = None,
+) -> float:
+    """Reproduce one point of Figure 9 with the simulated collector.
+
+    Pins *collection_objects* long-lived objects (the collection under
+    test), then churns short-lived allocations like the paper's allocator
+    thread; the result is the longest pause the paper's one-millisecond
+    sleeper thread would have observed.
+    """
+    heap = SimulatedHeap(mode, params)
+    heap.pin_old_generation(collection_objects, object_size)
+    for i in range(churn_objects):
+        # One in 16 churn objects survives long enough to promote,
+        # matching the paper's "varying lifetimes" allocator.
+        heap.allocate(object_size, long_lived=(i % 16 == 0))
+    heap.force_major()
+    return heap.max_pause
+
+
+# ----------------------------------------------------------------------
+# Real CPython probe
+# ----------------------------------------------------------------------
+
+
+def real_gc_probe(make_population, cycles: int = 3) -> float:
+    """Median wall-clock seconds of ``gc.collect()`` after *make_population*.
+
+    ``make_population()`` must build and return the population (kept alive
+    for the duration of the probe).  With records in a managed collection
+    the cycle collector must visit every object; with rows in an SMC it
+    only sees a handful of block buffers.
+    """
+    population = make_population()
+    timings = []
+    for __ in range(cycles):
+        start = time.perf_counter()
+        gc.collect()
+        timings.append(time.perf_counter() - start)
+    timings.sort()
+    del population
+    return timings[len(timings) // 2]

@@ -1,0 +1,36 @@
+"""Type-safe manual memory management (paper section 3).
+
+Subpackage layout:
+
+- :mod:`repro.memory.addressing` — block-aligned integer address space
+- :mod:`repro.memory.block` — data blocks (object store, slot directory,
+  back-pointers)
+- :mod:`repro.memory.slots` — slot-directory word codec
+- :mod:`repro.memory.indirection` — global indirection table + flag bits
+- :mod:`repro.memory.reference` — references and the dereference protocol
+- :mod:`repro.memory.epoch` — epoch-based reclamation
+- :mod:`repro.memory.context` — per-collection memory contexts
+- :mod:`repro.memory.allocator` — reclamation queue / thread-local blocks
+- :mod:`repro.memory.stringheap` — object-owned variable-length strings
+- :mod:`repro.memory.manager` — the façade collections talk to
+"""
+
+from repro.memory.addressing import AddressSpace, NULL_ADDRESS
+from repro.memory.block import Block
+from repro.memory.context import MemoryContext
+from repro.memory.epoch import EpochManager
+from repro.memory.indirection import IndirectionTable
+from repro.memory.manager import MemoryManager, MemoryStats
+from repro.memory.reference import Ref
+
+__all__ = [
+    "AddressSpace",
+    "NULL_ADDRESS",
+    "Block",
+    "MemoryContext",
+    "EpochManager",
+    "IndirectionTable",
+    "MemoryManager",
+    "MemoryStats",
+    "Ref",
+]

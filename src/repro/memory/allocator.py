@@ -1,0 +1,100 @@
+"""Allocation policy helpers: reclamation queue and thread-local blocks.
+
+Section 3.5 of the paper:
+
+* all allocations are served from *thread-local* blocks, so only one
+  thread allocates in a block at a time (removals may be concurrent);
+* blocks whose limbo-slot fraction surpasses the *reclamation threshold*
+  are appended to a per-type reclamation queue together with the earliest
+  epoch at which they may be reclaimed (removal epoch + 2);
+* when a thread needs a new block it first tries the reclamation queue,
+  then falls back to fresh memory from the unmanaged heap;
+* the allocation path attempts to advance the global epoch when the queue
+  holds blocks that are not yet reclaimable.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import TYPE_CHECKING, Deque, Dict, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.memory.block import Block
+
+
+class ReclamationQueue:
+    """FIFO of blocks waiting to have their limbo slots recycled."""
+
+    def __init__(self) -> None:
+        self._queue: Deque["Block"] = deque()
+        self._lock = threading.Lock()
+
+    def push(self, block: "Block", ready_epoch: int) -> None:
+        """Enqueue *block*; it may be handed out at *ready_epoch*."""
+        with self._lock:
+            if block.queued_for_reclaim:
+                return
+            block.queued_for_reclaim = True
+            block.reclaim_ready_epoch = ready_epoch
+            self._queue.append(block)
+
+    def pop_ready(self, global_epoch: int) -> Optional["Block"]:
+        """Dequeue the head block if its ready epoch has passed."""
+        with self._lock:
+            if not self._queue:
+                return None
+            head = self._queue[0]
+            if head.reclaim_ready_epoch > global_epoch:
+                return None
+            self._queue.popleft()
+            head.queued_for_reclaim = False
+            return head
+
+    def has_blocked_head(self, global_epoch: int) -> bool:
+        """True if the queue is non-empty but its head is not ready yet.
+
+        This is the condition under which the allocation function attempts
+        to advance the global epoch (section 3.5).
+        """
+        with self._lock:
+            return bool(self._queue) and self._queue[0].reclaim_ready_epoch > global_epoch
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._queue)
+
+    def drain(self) -> Deque["Block"]:
+        with self._lock:
+            drained = self._queue
+            self._queue = deque()
+            for block in drained:
+                block.queued_for_reclaim = False
+            return drained
+
+
+class ThreadLocalBlocks:
+    """Per-thread active allocation block for one memory context."""
+
+    def __init__(self) -> None:
+        self._by_thread: Dict[int, "Block"] = {}
+        self._lock = threading.Lock()
+
+    def get(self) -> Optional["Block"]:
+        return self._by_thread.get(threading.get_ident())
+
+    def set(self, block: Optional["Block"]) -> None:
+        tid = threading.get_ident()
+        with self._lock:
+            if block is None:
+                self._by_thread.pop(tid, None)
+            else:
+                self._by_thread[tid] = block
+
+    def values(self):
+        with self._lock:
+            return list(self._by_thread.values())
+
+    def clear(self) -> None:
+        with self._lock:
+            self._by_thread.clear()

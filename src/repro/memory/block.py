@@ -1,0 +1,272 @@
+"""Data blocks: the unit of off-heap allocation.
+
+A block (paper section 3.2, Figure 1) is a fixed-size, block-aligned chunk
+of raw memory divided into four consecutive segments::
+
+    +-------------+----------------------+----------------+---------------+
+    | block header|   object store       | slot directory | back-pointers |
+    +-------------+----------------------+----------------+---------------+
+
+* The *block header* stores per-block (hence per-type) metadata once,
+  instead of with every object — the paper's vtable-sharing trick.
+* The *object store* holds ``slot_count`` fixed-size object slots.  The
+  first 8 bytes of every slot are the slot header: a 32-bit incarnation
+  word (used in direct-pointer mode, section 6) plus 4 reserved bytes.
+* The *slot directory* has one 32-bit word per slot encoding its state
+  (free / valid / limbo) and, for limbo slots, the removal epoch.
+* The *back-pointers* segment stores, per slot, the index of the slot's
+  indirection-table entry, so that queries scanning the block can build
+  references to qualifying objects (section 4) and the compactor can find
+  the entries to re-point (section 5).
+
+The backing store is a ``bytearray``; the slot directory, back-pointers and
+slot headers are exposed as writable NumPy views for fast scans.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import TYPE_CHECKING, Iterator, List, Optional
+
+import numpy as np
+
+from repro.memory import slots as slotcodec
+from repro.memory.slots import FREE, LIMBO, VALID
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.memory.addressing import AddressSpace
+
+#: Reserved bytes at the start of every block for the block header.
+BLOCK_HEADER_SIZE = 64
+
+#: Bytes at the start of every slot reserved for the slot header
+#: (32-bit incarnation word + 32 reserved bits).
+SLOT_HEADER_SIZE = 8
+
+_HEADER_STRUCT = struct.Struct("<iiiii")  # type_id, context_id, slot_count, slot_size, kind
+
+#: Block kinds (stored in the header for debugging/validation).
+KIND_ROW = 0
+KIND_STRING = 1
+KIND_COLUMNAR = 2
+
+
+class Block:
+    """A single-type data block in the off-heap address space."""
+
+    __slots__ = (
+        "space",
+        "block_id",
+        "base_address",
+        "buf",
+        "type_id",
+        "context_id",
+        "slot_size",
+        "slot_count",
+        "object_offset",
+        "directory",
+        "backptrs",
+        "slot_incs",
+        "valid_count",
+        "limbo_count",
+        "alloc_cursor",
+        "queued_for_reclaim",
+        "reclaim_ready_epoch",
+        "relocation_list",
+        "compaction_group",
+    )
+
+    def __init__(
+        self,
+        space: "AddressSpace",
+        slot_size: int,
+        type_id: int,
+        context_id: int,
+    ) -> None:
+        if slot_size % 8 != 0:
+            raise ValueError(f"slot_size must be 8-byte aligned, got {slot_size}")
+        if slot_size < SLOT_HEADER_SIZE + 8:
+            raise ValueError(f"slot_size {slot_size} too small for slot header")
+        usable = space.block_size - BLOCK_HEADER_SIZE
+        # Per slot we need the slot itself + 4 directory bytes + 8 back-pointer bytes.
+        slot_count = usable // (slot_size + 4 + 8)
+        if slot_count < 1:
+            raise ValueError(
+                f"slot_size {slot_size} does not fit in a "
+                f"{space.block_size}-byte block"
+            )
+
+        self.space = space
+        self.block_id = space.register(self)
+        self.base_address = space.address_of(self.block_id)
+        self.buf = bytearray(space.block_size)
+        self.type_id = type_id
+        self.context_id = context_id
+        self.slot_size = slot_size
+        self.slot_count = slot_count
+        self.object_offset = BLOCK_HEADER_SIZE
+
+        dir_offset = BLOCK_HEADER_SIZE + slot_count * slot_size
+        bp_offset = dir_offset + slot_count * 4
+        # Back-pointers must be 8-byte aligned within the buffer.
+        if bp_offset % 8 != 0:
+            bp_offset += 8 - (bp_offset % 8)
+            if bp_offset + slot_count * 8 > space.block_size:
+                # Sacrifice one slot to make room; recompute segments.
+                slot_count -= 1
+                self.slot_count = slot_count
+                dir_offset = BLOCK_HEADER_SIZE + slot_count * slot_size
+                bp_offset = dir_offset + slot_count * 4
+                if bp_offset % 8 != 0:
+                    bp_offset += 8 - (bp_offset % 8)
+
+        _HEADER_STRUCT.pack_into(
+            self.buf, 0, type_id, context_id, slot_count, slot_size, KIND_ROW
+        )
+
+        mv = memoryview(self.buf)
+        self.directory = np.frombuffer(mv, dtype=np.uint32, count=slot_count, offset=dir_offset)
+        self.backptrs = np.frombuffer(mv, dtype=np.int64, count=slot_count, offset=bp_offset)
+        self.backptrs.fill(-1)
+        # Strided view over the first 4 bytes of every slot: the incarnation
+        # word of the slot header (authoritative in direct-pointer mode).
+        self.slot_incs = np.ndarray(
+            shape=(slot_count,),
+            dtype=np.uint32,
+            buffer=mv,
+            offset=self.object_offset,
+            strides=(slot_size,),
+        )
+
+        self.valid_count = 0
+        self.limbo_count = 0
+        self.alloc_cursor = 0
+        self.queued_for_reclaim = False
+        self.reclaim_ready_epoch = -1
+        # Compaction bookkeeping (section 5): populated by the compactor.
+        self.relocation_list: Optional[list] = None
+        self.compaction_group: Optional[object] = None
+
+    # ------------------------------------------------------------------
+    # Address arithmetic
+    # ------------------------------------------------------------------
+
+    def slot_address(self, slot: int) -> int:
+        """Address of *slot*'s data (start of the slot, i.e. its header)."""
+        return self.base_address + self.object_offset + slot * self.slot_size
+
+    def slot_of_address(self, address: int) -> int:
+        """Inverse of :meth:`slot_address` for addresses inside this block."""
+        return (self.space.offset_of(address) - self.object_offset) // self.slot_size
+
+    # ------------------------------------------------------------------
+    # Slot directory transitions
+    # ------------------------------------------------------------------
+
+    def state_of(self, slot: int) -> int:
+        return int(self.directory[slot]) & slotcodec.STATE_MASK
+
+    def mark_valid(self, slot: int) -> None:
+        prev = int(self.directory[slot]) & slotcodec.STATE_MASK
+        self.directory[slot] = slotcodec.pack(VALID)
+        if prev == LIMBO:
+            self.limbo_count -= 1
+        self.valid_count += 1
+
+    def mark_limbo(self, slot: int, epoch: int) -> None:
+        if (int(self.directory[slot]) & slotcodec.STATE_MASK) != VALID:
+            raise ValueError(f"slot {slot} is not valid; cannot move to limbo")
+        self.directory[slot] = slotcodec.pack(LIMBO, epoch)
+        self.valid_count -= 1
+        self.limbo_count += 1
+
+    def removal_epoch_of(self, slot: int) -> int:
+        return slotcodec.epoch_of(int(self.directory[slot]))
+
+    # ------------------------------------------------------------------
+    # Scans
+    # ------------------------------------------------------------------
+
+    def valid_slots(self) -> np.ndarray:
+        """Indices of all valid slots (vectorised slot-directory scan)."""
+        states = self.directory & slotcodec.STATE_MASK
+        return np.nonzero(states == VALID)[0]
+
+    def iter_valid_slots(self) -> Iterator[int]:
+        for slot in self.valid_slots():
+            yield int(slot)
+
+    def find_allocatable(self, start: int, global_epoch: int) -> Optional[int]:
+        """Scan the directory from *start* for a FREE or reclaimable LIMBO slot.
+
+        Mirrors the paper's allocation scan (section 3.5): starting at the
+        cursor of the last allocation, walk forward until a usable slot is
+        found; return ``None`` when the end of the block is reached.
+        """
+        directory = self.directory
+        for slot in range(start, self.slot_count):
+            word = int(directory[slot])
+            state = word & slotcodec.STATE_MASK
+            if state == FREE:
+                return slot
+            if state == LIMBO and global_epoch >= slotcodec.epoch_of(word) + 2:
+                return slot
+        return None
+
+    # ------------------------------------------------------------------
+    # Occupancy / reclamation policy inputs
+    # ------------------------------------------------------------------
+
+    @property
+    def limbo_fraction(self) -> float:
+        return self.limbo_count / self.slot_count
+
+    @property
+    def occupancy(self) -> float:
+        """Fraction of slots holding live objects."""
+        return self.valid_count / self.slot_count
+
+    @property
+    def is_exhausted(self) -> bool:
+        """True once the allocation cursor has passed the last slot."""
+        return self.alloc_cursor >= self.slot_count
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def release(self) -> None:
+        """Return this block's address range to the address space."""
+        self.space.unregister(self.block_id)
+
+    def reset(self, type_id: int, context_id: int) -> None:
+        """Reinitialise the block for reuse by a (possibly different) type.
+
+        Single-type blocks may be recycled for different types once empty
+        (section 3.2) because incarnation state lives in the indirection
+        table; we clear all segments.
+        """
+        if self.valid_count:
+            raise ValueError("cannot reset a block with live objects")
+        self.type_id = type_id
+        self.context_id = context_id
+        _HEADER_STRUCT.pack_into(
+            self.buf, 0, type_id, context_id, self.slot_count, self.slot_size, KIND_ROW
+        )
+        self.directory.fill(0)
+        self.backptrs.fill(-1)
+        self.slot_incs.fill(0)
+        self.valid_count = 0
+        self.limbo_count = 0
+        self.alloc_cursor = 0
+        self.queued_for_reclaim = False
+        self.reclaim_ready_epoch = -1
+        self.relocation_list = None
+        self.compaction_group = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Block id={self.block_id} type={self.type_id} "
+            f"valid={self.valid_count} limbo={self.limbo_count} "
+            f"slots={self.slot_count}x{self.slot_size}B>"
+        )

@@ -1,0 +1,199 @@
+"""Memory contexts: per-collection private block sets (paper section 3.3).
+
+A memory context groups the blocks that serve one object type for one
+collection, so that objects of the same collection end up physically
+adjacent — the spatial-locality property that makes enumeration fast
+(section 4).  The context also owns the allocation machinery for its
+blocks: per-thread active blocks and the reclamation queue of blocks with
+recyclable limbo slots.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING, Iterator, List, Optional, Tuple
+
+from repro.memory.allocator import ReclamationQueue, ThreadLocalBlocks
+from repro.memory.block import Block
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.memory.manager import MemoryManager
+
+
+class MemoryContext:
+    """Private set of single-type blocks for one collection."""
+
+    def __init__(
+        self,
+        manager: "MemoryManager",
+        type_id: int,
+        slot_size: int,
+        name: str = "",
+    ) -> None:
+        self.manager = manager
+        self.type_id = type_id
+        self.slot_size = slot_size
+        self.name = name or f"ctx-{type_id}"
+        self.context_id = manager._register_context(self)
+        self._blocks: List[Block] = []
+        self._blocks_lock = threading.Lock()
+        self._tl_blocks = ThreadLocalBlocks()
+        self._reclaim = ReclamationQueue()
+        #: Optional custom block constructor (columnar collections).
+        self.block_factory = None
+        #: Slot layout of the hosted type (set by the owning collection);
+        #: used by the vectorised query engine to build field views.
+        self.layout = None
+        #: Blocks whose owner thread abandoned them (exhausted); candidates
+        #: for the reclamation queue as their limbo fraction grows.
+        self.live_count = 0
+
+    # ------------------------------------------------------------------
+    # Block set
+    # ------------------------------------------------------------------
+
+    def blocks(self) -> List[Block]:
+        """Snapshot of this context's blocks in allocation order.
+
+        Queries enumerate this list; bag semantics let them visit objects
+        in memory order (section 4).
+        """
+        with self._blocks_lock:
+            return list(self._blocks)
+
+    def block_count(self) -> int:
+        with self._blocks_lock:
+            return len(self._blocks)
+
+    def _attach_block(self, block: Block) -> None:
+        with self._blocks_lock:
+            self._blocks.append(block)
+
+    def detach_block(self, block: Block) -> None:
+        """Remove an emptied block from the context (compaction, section 5.2)."""
+        with self._blocks_lock:
+            self._blocks.remove(block)
+
+    # ------------------------------------------------------------------
+    # Allocation (section 3.5)
+    # ------------------------------------------------------------------
+
+    def allocate_slot(self) -> Tuple[Block, int]:
+        """Claim a slot for a new object; returns ``(block, slot)``.
+
+        The slot is *claimed* (the cursor moves past it) but not yet
+        published: its directory entry stays FREE/LIMBO until
+        :meth:`commit_slot` flips it to VALID, so concurrent scans never
+        observe a slot whose back-pointer and field values are still
+        being written (the paper's Add publishes the object last).
+        """
+        manager = self.manager
+        epochs = manager.epochs
+        block = self._tl_blocks.get()
+        while True:
+            if block is not None:
+                slot = block.find_allocatable(block.alloc_cursor, epochs.global_epoch)
+                if slot is not None:
+                    block.alloc_cursor = slot + 1
+                    return block, slot
+                # Current thread-local block is exhausted; abandon it.
+                block.alloc_cursor = block.slot_count
+                self._retire_active_block(block)
+                self._tl_blocks.set(None)
+                block = None
+
+            # The paper advances the global epoch from the allocation path
+            # when queued blocks are not reclaimable yet; keep advancing
+            # until the head becomes ready or a critical section blocks us.
+            while self._reclaim.has_blocked_head(epochs.global_epoch):
+                if not epochs.try_advance():
+                    break
+                manager.stats.epoch_advances += 1
+
+            block = self._reclaim.pop_ready(epochs.global_epoch)
+            if block is not None:
+                block.alloc_cursor = 0
+                manager.stats.blocks_recycled += 1
+            else:
+                block = manager._acquire_block(self)
+                self._attach_block(block)
+            self._tl_blocks.set(block)
+
+    def commit_slot(self, block: Block, slot: int) -> None:
+        """Publish a claimed slot: directory -> VALID, counters updated."""
+        if block.state_of(slot) != 0:  # LIMBO slot recycled in place
+            self.manager.stats.limbo_reuses += 1
+        block.mark_valid(slot)
+        self.live_count += 1
+
+    def _retire_active_block(self, block: Block) -> None:
+        """An exhausted thread-local block becomes queue-eligible again."""
+        if block.limbo_fraction > self.manager.reclamation_threshold:
+            self._reclaim.push(block, self.manager.epochs.global_epoch + 2)
+
+    # ------------------------------------------------------------------
+    # Removal (section 3.5)
+    # ------------------------------------------------------------------
+
+    def free_slot(self, block: Block, slot: int) -> None:
+        """Move ``(block, slot)`` to limbo stamped with the current epoch."""
+        epoch = self.manager.epochs.global_epoch
+        block.mark_limbo(slot, epoch)
+        self.live_count -= 1
+        # Blocks actively used for allocation are re-examined when retired;
+        # all other blocks join the queue as soon as they cross the
+        # reclamation threshold.
+        if block is not self._tl_blocks.get():
+            if (
+                not block.queued_for_reclaim
+                and block.limbo_fraction > self.manager.reclamation_threshold
+            ):
+                self._reclaim.push(block, epoch + 2)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def iter_valid(self) -> Iterator[Tuple[Block, int]]:
+        """Yield ``(block, slot)`` for every live object, memory order."""
+        for block in self.blocks():
+            for slot in block.iter_valid_slots():
+                yield block, slot
+
+    @property
+    def reclaim_queue_length(self) -> int:
+        return len(self._reclaim)
+
+    def total_bytes(self) -> int:
+        return self.block_count() * self.manager.space.block_size
+
+    def compactable_blocks(self, occupancy_threshold: float) -> List[Block]:
+        """Blocks whose occupancy fell below the compaction threshold.
+
+        Thread-local active blocks are excluded: they are being filled.
+        """
+        active = set(id(b) for b in self._tl_blocks.values())
+        return [
+            block
+            for block in self.blocks()
+            if id(block) not in active and block.occupancy < occupancy_threshold
+        ]
+
+    def close(self) -> None:
+        """Tear the context down, ending the lifetime of all its objects.
+
+        Blocks are scrubbed before returning to the pool; references into
+        a closed context are not protected (closing a collection ends its
+        objects' lifetimes wholesale).
+        """
+        with self._blocks_lock:
+            blocks = list(self._blocks)
+            self._blocks.clear()
+        for block in blocks:
+            block.directory.fill(0)
+            block.valid_count = 0
+            block.limbo_count = 0
+            self.manager._release_block(block)
+        self._tl_blocks.clear()
+        self._reclaim.drain()
+        self.live_count = 0

@@ -1,0 +1,356 @@
+"""The type-safe manual memory manager (paper section 3).
+
+:class:`MemoryManager` owns the address space, the global indirection
+table, the epoch machinery, the string heap and a pool of recycled blocks.
+Collections create a private :class:`~repro.memory.context.MemoryContext`
+per type and map their ``add``/``remove`` operations onto
+:meth:`MemoryManager.allocate_object` / :meth:`MemoryManager.free_object`.
+
+The manager also carries the global compaction state the dereference slow
+path consults (``next_relocation_epoch`` / ``in_moving_phase``); the
+compaction algorithm itself lives in ``repro.core.compaction``.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Deque, Dict, List, Optional, Tuple
+
+from repro.errors import ConcurrencyProtocolError, NullReferenceError
+from repro.memory.addressing import AddressSpace, NULL_ADDRESS
+from repro.memory.block import Block
+from repro.memory.context import MemoryContext
+from repro.memory.epoch import EpochManager
+from repro.memory.indirection import FLAG_MASK, INC_MASK, IndirectionTable
+from repro.memory.reference import Ref
+from repro.memory.stringheap import StringHeap
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.compaction import Compactor
+
+#: Default reclamation threshold: a block joins the reclamation queue once
+#: more than this fraction of its slots are in limbo.  The paper's
+#: sensitivity study (Figure 6) selects 5%.
+DEFAULT_RECLAMATION_THRESHOLD = 0.05
+
+#: Default data-block size: 1 MiB.  Large blocks amortise per-block costs
+#: in block-at-a-time query execution; small setups (tests) may shrink it.
+DEFAULT_MANAGER_BLOCK_SHIFT = 20
+
+
+@dataclass
+class MemoryStats:
+    """Counters exposed for tests, benchmarks and diagnostics."""
+
+    allocations: int = 0
+    frees: int = 0
+    limbo_reuses: int = 0
+    blocks_allocated: int = 0
+    blocks_recycled: int = 0
+    blocks_pooled: int = 0
+    epoch_advances: int = 0
+    compactions: int = 0
+    relocations: int = 0
+    failed_relocations: int = 0
+    helped_relocations: int = 0
+    bailed_relocations: int = 0
+    extra: Dict[str, int] = field(default_factory=dict)
+
+
+class MemoryManager:
+    """Facade over the off-heap memory subsystem."""
+
+    def __init__(
+        self,
+        block_shift: int = DEFAULT_MANAGER_BLOCK_SHIFT,
+        reclamation_threshold: float = DEFAULT_RECLAMATION_THRESHOLD,
+        direct_pointers: bool = False,
+    ) -> None:
+        if not 0.0 <= reclamation_threshold <= 1.0:
+            raise ValueError("reclamation_threshold must be within [0, 1]")
+        self.space = AddressSpace(block_shift)
+        self.epochs = EpochManager()
+        self.table = IndirectionTable()
+        self.strings = StringHeap(self.space, self.epochs)
+        self.reclamation_threshold = reclamation_threshold
+        #: Direct-pointer mode (section 6): references *between* SMCs store
+        #: raw addresses and incarnation checks use the slot header.
+        self.direct_pointers = direct_pointers
+
+        self._contexts: List[MemoryContext] = []
+        self._type_ids: Dict[str, int] = {}
+        self._pool: Dict[int, List[Block]] = {}
+        self._pool_lock = threading.Lock()
+        #: Freed indirection entries awaiting recycling: (ready_epoch, idx).
+        #: Like limbo slots, entries only become reusable two epochs after
+        #: the free, so a reader that passed the incarnation check inside a
+        #: grace period can still read the entry's pointer safely.
+        self._retired_entries: Deque[Tuple[int, int]] = deque()
+        self._closed = False
+
+        # --- global compaction state (sections 5, 6) ---
+        self.compactor: Optional["Compactor"] = None
+        self.next_relocation_epoch: Optional[int] = None
+        self.in_moving_phase = False
+
+        self.stats = MemoryStats()
+
+    # ------------------------------------------------------------------
+    # Type & context registry
+    # ------------------------------------------------------------------
+
+    def type_id_for(self, type_name: str) -> int:
+        """Intern *type_name*, returning its stable numeric type id."""
+        type_id = self._type_ids.get(type_name)
+        if type_id is None:
+            type_id = len(self._type_ids) + 1
+            self._type_ids[type_name] = type_id
+        return type_id
+
+    def _register_context(self, context: MemoryContext) -> int:
+        self._contexts.append(context)
+        return len(self._contexts) - 1
+
+    def create_context(self, slot_size: int, type_name: str) -> MemoryContext:
+        """Create a private memory context for one collection."""
+        self._ensure_open()
+        return MemoryContext(
+            self, self.type_id_for(type_name), slot_size, name=type_name
+        )
+
+    def context_by_id(self, context_id: int) -> MemoryContext:
+        return self._contexts[context_id]
+
+    # ------------------------------------------------------------------
+    # Block pool ("unmanaged heap")
+    # ------------------------------------------------------------------
+
+    def _acquire_block(self, context: MemoryContext) -> Block:
+        factory = getattr(context, "block_factory", None)
+        if factory is not None:
+            # Columnar (and other custom) contexts build their own blocks;
+            # those are not pooled across types.
+            self.stats.blocks_allocated += 1
+            return factory()
+        with self._pool_lock:
+            pool = self._pool.get(context.slot_size)
+            block = pool.pop() if pool else None
+        if block is not None:
+            block.reset(context.type_id, context.context_id)
+            self.stats.blocks_pooled += 1
+            return block
+        self.stats.blocks_allocated += 1
+        return Block(self.space, context.slot_size, context.type_id, context.context_id)
+
+    def _release_block(self, block) -> None:
+        """Return an emptied block to the pool for reuse by any type.
+
+        Only row blocks are pooled; custom block kinds (columnar) release
+        their address range immediately.
+        """
+        if not isinstance(block, Block):
+            block.release()
+            return
+        with self._pool_lock:
+            self._pool.setdefault(block.slot_size, []).append(block)
+
+    # ------------------------------------------------------------------
+    # Object lifecycle
+    # ------------------------------------------------------------------
+
+    def allocate_object(
+        self, context: MemoryContext, defer_publish: bool = False
+    ) -> Tuple[Block, int, Ref]:
+        """Allocate a slot in *context*; returns ``(block, slot, ref)``.
+
+        The slot's data (beyond the slot header) is left untouched; the
+        collection layer writes the object's fields through its layout.
+        With ``defer_publish`` the slot stays unpublished (not VALID) and
+        the caller must call ``context.commit_slot(block, slot)`` once the
+        object is fully constructed — the paper's Add sequence: allocate,
+        run the constructor, then add to the collection (section 2).
+        """
+        self._ensure_open()
+        self._drain_retired_entries()
+        block, slot = context.allocate_slot()
+        address = block.slot_address(slot)
+        entry = self.table.allocate(address)
+        block.backptrs[slot] = entry
+        if not defer_publish:
+            context.commit_slot(block, slot)
+        self.stats.allocations += 1
+        inc = self.table.incarnation(entry)
+        return block, slot, Ref(self, entry, inc)
+
+    def free_object(self, ref: Ref) -> None:
+        """End the referenced object's lifetime.
+
+        Increments both the indirection entry's and the slot header's
+        incarnation counters (so indirect references *and* direct in-row
+        pointers turn null), moves the slot to limbo and recycles the
+        indirection entry.  Raises :class:`NullReferenceError` if the
+        object was already removed.
+        """
+        self._ensure_open()
+        table = self.table
+        entry = ref.entry
+        word = table.incarnation_word(entry)
+        if (word & INC_MASK) != (ref.inc & INC_MASK):
+            raise NullReferenceError(
+                f"object behind entry {entry} was already removed"
+            )
+        if word & FLAG_MASK:
+            # Racing with compaction: wait for the relocation machinery to
+            # settle before removing (free must CAS, section 5.1 footnote).
+            table.spin_while_locked(entry)
+        address = table.address_of(entry)
+        block: Block = self.space.block_at(address)  # type: ignore[assignment]
+        slot = block.slot_of_address(address)
+
+        table.increment_incarnation(entry)
+        # Slot-header incarnation protects direct pointers (section 6).
+        block.slot_incs[slot] = (int(block.slot_incs[slot]) + 1) & 0xFFFFFFFF
+        # The entry's pointer stays intact: a concurrent reader that passed
+        # the incarnation check at the start of its grace period may still
+        # follow it, and the slot itself is limbo-protected (section 3.4).
+        # The entry becomes recyclable two epochs from now.
+        self._retired_entries.append((self.epochs.global_epoch + 2, entry))
+
+        context = self._contexts[block.context_id]
+        context.free_slot(block, slot)
+        self.stats.frees += 1
+
+    def free_object_with_strings(self, collection, ref: Ref) -> None:
+        """Free *ref* including its owned strings (bulk-removal helper)."""
+        epochs = self.epochs
+        epochs.enter_critical_section()
+        try:
+            address = ref.address()
+            block = self.space.block_at(address)
+            off = self.space.offset_of(address)
+            collection.layout.release_owned(block.buf, off, self)
+            self.free_object(ref)
+        finally:
+            epochs.exit_critical_section()
+
+    def _drain_retired_entries(self) -> None:
+        """Recycle indirection entries whose safety epoch has passed."""
+        retired = self._retired_entries
+        epoch = self.epochs.global_epoch
+        while retired:
+            try:
+                ready, entry = retired[0]
+            except IndexError:  # pragma: no cover - concurrent drain
+                return
+            if ready > epoch:
+                return
+            try:
+                item = retired.popleft()
+            except IndexError:  # pragma: no cover - concurrent drain
+                return
+            if item[0] > epoch:  # raced with another drainer; put it back
+                retired.appendleft(item)
+                return
+            self.table.set_address(item[1], NULL_ADDRESS)
+            self.table.release(item[1])
+
+    # ------------------------------------------------------------------
+    # Dereference slow path (frozen incarnations, section 5.1)
+    # ------------------------------------------------------------------
+
+    def _deref_frozen(self, entry: int, ref_inc: int) -> int:
+        compactor = self.compactor
+        if compactor is None:
+            # No compactor is running: the flags are stale or we raced with
+            # a free; wait for the lock to clear and re-validate.
+            word = self.table.spin_while_locked(entry)
+            if (word & INC_MASK) != (ref_inc & INC_MASK):
+                raise NullReferenceError(f"entry {entry} became null")
+            return self.table.address_of(entry)
+
+        local_epoch = self.epochs.local_epoch()
+        if (
+            self.next_relocation_epoch is None
+            or local_epoch != self.next_relocation_epoch
+        ):
+            # Case (a): freezing epoch — no relocation yet this epoch.
+            return self.table.address_of(entry)
+        if not self.in_moving_phase:
+            # Case (b): waiting phase — bail the relocation out.
+            compactor.bail_out_relocation(entry)
+            return self.table.address_of(entry)
+        # Case (c): moving phase — help relocate, then proceed.
+        compactor.help_relocation(entry)
+        return self.table.address_of(entry)
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+
+    def critical_section(self):
+        """Enter/exit a grace period (see :class:`EpochManager`)."""
+        return self.epochs.critical_section()
+
+    def advance_epoch(self) -> bool:
+        advanced = self.epochs.try_advance()
+        if advanced:
+            self.stats.epoch_advances += 1
+        return advanced
+
+    def total_bytes(self) -> int:
+        """Bytes currently mapped by all live blocks (data + strings)."""
+        return self.space.total_bytes
+
+    def describe(self) -> str:
+        """Human-readable report of the memory system's current state."""
+        lines = [
+            f"MemoryManager: {self.space.live_block_count} live blocks, "
+            f"{self.total_bytes() / 2**20:.1f} MiB mapped, "
+            f"global epoch {self.epochs.global_epoch}",
+            f"  indirection table: {self.table.size} entries "
+            f"({self.table.free_count} free, {self.table.retired_count} retired)",
+            f"  string heap: {self.strings.block_count} blocks, "
+            f"{self.strings.bytes_in_use} bytes in use",
+            f"  stats: {self.stats.allocations} allocs, {self.stats.frees} "
+            f"frees, {self.stats.limbo_reuses} limbo reuses, "
+            f"{self.stats.blocks_recycled} blocks recycled, "
+            f"{self.stats.compactions} compactions "
+            f"({self.stats.relocations} relocations)",
+        ]
+        for context in self._contexts:
+            blocks = context.blocks()
+            capacity = sum(b.slot_count for b in blocks)
+            occupancy = context.live_count / capacity if capacity else 0.0
+            limbo = sum(b.limbo_count for b in blocks)
+            lines.append(
+                f"  context {context.name}: {context.live_count} live / "
+                f"{capacity} slots ({occupancy:.0%}) in {len(blocks)} "
+                f"blocks, {limbo} limbo, queue {context.reclaim_queue_length}"
+            )
+        return "\n".join(lines)
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise ConcurrencyProtocolError("memory manager is closed")
+
+    def close(self) -> None:
+        """Release every context, pooled block and string block."""
+        if self._closed:
+            return
+        for context in self._contexts:
+            context.close()
+        with self._pool_lock:
+            pooled = [blk for blks in self._pool.values() for blk in blks]
+            self._pool.clear()
+        for block in pooled:
+            block.release()
+        self.strings.close()
+        self._closed = True
+
+    def __enter__(self) -> "MemoryManager":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

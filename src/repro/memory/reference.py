@@ -1,0 +1,112 @@
+"""References to self-managed objects.
+
+A reference (``ObjRef`` in the paper, Figure 1) stores a pointer to the
+object's indirection-table entry together with the incarnation number the
+object had when the reference was created.  Dereferencing verifies that the
+incarnation still matches; if the object has since been removed from its
+collection the check fails and the access raises
+:class:`~repro.errors.NullReferenceError` — the paper's semantics of all
+references to a removed object implicitly becoming null (section 2).
+
+The dereference logic mirrors the paper's ``dereference_object`` pseudocode
+(section 5.1), including the three frozen-incarnation cases that arise
+during compaction:
+
+a. the thread is still in the *freezing* epoch — no relocation can happen
+   yet, the current address is safe;
+b. the *waiting* phase of the relocation epoch — the reader bails out the
+   pending relocation and uses the current address;
+c. the *moving* phase — the reader helps perform the relocation and uses
+   the new address.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import NullReferenceError
+from repro.memory.indirection import FLAG_MASK, INC_MASK
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.memory.manager import MemoryManager
+
+
+class Ref:
+    """A type-safe reference to a self-managed object."""
+
+    __slots__ = ("manager", "entry", "inc")
+
+    def __init__(self, manager: "MemoryManager", entry: int, inc: int) -> None:
+        self.manager = manager
+        self.entry = entry
+        self.inc = inc
+
+    # ------------------------------------------------------------------
+    # Dereferencing
+    # ------------------------------------------------------------------
+
+    def address(self) -> int:
+        """Resolve to the object's current memory address.
+
+        Must be called inside a critical section for the address to remain
+        valid while it is being used (section 3.4); the collection layer
+        and the generated query code take care of that.
+        """
+        manager = self.manager
+        table = manager.table
+        word = table.incarnation_word(self.entry)
+        if word == self.inc:
+            # Common path: no flag bits set and incarnations match.
+            address = table.address_of(self.entry)
+            if address >= 0:
+                return address
+            # The entry was recycled between the check and the pointer
+            # read — only possible outside a critical section.
+            raise NullReferenceError(
+                f"entry {self.entry} was recycled (access outside a "
+                f"critical section?)"
+            )
+        if (word & ~FLAG_MASK) == self.inc & INC_MASK:
+            # Flags are set but the counter still matches: the object is
+            # frozen (and possibly locked) for relocation.
+            return manager._deref_frozen(self.entry, self.inc)
+        raise NullReferenceError(
+            f"reference to entry {self.entry} (incarnation {self.inc}) is null"
+        )
+
+    def try_address(self) -> Optional[int]:
+        """Like :meth:`address` but returns ``None`` instead of raising."""
+        try:
+            return self.address()
+        except NullReferenceError:
+            return None
+
+    @property
+    def is_alive(self) -> bool:
+        """True if the referenced object has not been removed.
+
+        Only a snapshot: without an enclosing critical section the object
+        may be removed immediately after the check.
+        """
+        word = self.manager.table.incarnation_word(self.entry)
+        return (word & INC_MASK) == (self.inc & INC_MASK)
+
+    # ------------------------------------------------------------------
+    # Value semantics
+    # ------------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Ref):
+            return NotImplemented
+        return (
+            self.entry == other.entry
+            and self.inc == other.inc
+            and self.manager is other.manager
+        )
+
+    def __hash__(self) -> int:
+        return hash((id(self.manager), self.entry, self.inc))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        alive = "alive" if self.is_alive else "null"
+        return f"<Ref entry={self.entry} inc={self.inc} {alive}>"

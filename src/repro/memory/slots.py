@@ -1,0 +1,64 @@
+"""Slot-directory entry codec.
+
+Each data block keeps a *slot directory*: one 32-bit word per slot
+(section 3.2 of the paper).  A slot is in one of three states:
+
+``FREE``
+    never used since the block was (re)initialised,
+``VALID``
+    currently holds live object data,
+``LIMBO``
+    the object was removed but the slot cannot be reused yet because
+    concurrent threads may still be reading it (epoch-based reclamation,
+    section 3.4/3.5).
+
+For limbo slots the directory word also records the global epoch at which
+the object was removed; the slot becomes reclaimable two epochs later.
+
+Word layout (32 bits)::
+
+    bits 0..1   state (0 = FREE, 1 = VALID, 2 = LIMBO)
+    bits 2..31  removal epoch (limbo slots only), modulo 2**30
+
+Epochs are monotonically increasing Python ints; 30 bits of epoch are ample
+for any realistic run (the paper advances epochs lazily, on allocation).
+"""
+
+from __future__ import annotations
+
+FREE = 0
+VALID = 1
+LIMBO = 2
+
+STATE_BITS = 2
+STATE_MASK = (1 << STATE_BITS) - 1
+EPOCH_MASK = (1 << 30) - 1
+
+STATE_NAMES = {FREE: "free", VALID: "valid", LIMBO: "limbo"}
+
+
+def pack(state: int, epoch: int = 0) -> int:
+    """Pack a slot state and removal epoch into a directory word."""
+    return ((epoch & EPOCH_MASK) << STATE_BITS) | (state & STATE_MASK)
+
+
+def state_of(word: int) -> int:
+    """Extract the slot state from a directory word."""
+    return word & STATE_MASK
+
+
+def epoch_of(word: int) -> int:
+    """Extract the removal epoch from a (limbo) directory word."""
+    return (word >> STATE_BITS) & EPOCH_MASK
+
+
+def is_reclaimable(word: int, global_epoch: int) -> bool:
+    """True if a limbo directory word may be reused at *global_epoch*.
+
+    The paper's rule (section 3.4): memory freed in epoch ``e`` can safely
+    be reclaimed in epoch ``e + 2`` because no thread can still be inside a
+    critical section begun in epoch ``e``.
+    """
+    if (word & STATE_MASK) != LIMBO:
+        return False
+    return global_epoch >= epoch_of(word) + 2

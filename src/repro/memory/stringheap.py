@@ -1,0 +1,162 @@
+"""Object-owned variable-length string storage.
+
+Tabular objects have a fixed size and layout, so variable-length strings
+cannot live inside object slots.  The paper (section 2) makes strings part
+of the object: their lifetime matches the object's, and the collection
+reclaims their memory together with the object's memory slot.
+
+The string heap allocates string records from dedicated string blocks in
+the same block-aligned address space as data blocks.  A record is::
+
+    uint32 length | utf-8 bytes ...
+
+rounded up to a power-of-two size class.  Freed records go to per-class
+free lists and are recycled immediately — unlike object slots, string
+records are only reachable through their owning object, whose own slot is
+protected by epoch-based reclamation, so a string freed together with its
+object cannot be re-read by a racing thread that passed the object's
+incarnation check inside the same grace period *before* the free happened
+and re-reads after; we conservatively defer string reuse with the same
+two-epoch rule as object slots.
+"""
+
+from __future__ import annotations
+
+import struct
+from collections import deque
+from typing import TYPE_CHECKING, Deque, Dict, List, Tuple
+
+from repro.memory.addressing import NULL_ADDRESS
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.memory.addressing import AddressSpace
+    from repro.memory.epoch import EpochManager
+
+_LEN = struct.Struct("<I")
+
+_MIN_CLASS = 16
+
+
+class StringBlock:
+    """A bump-allocated block holding string records."""
+
+    __slots__ = ("space", "block_id", "base_address", "buf", "bump")
+
+    def __init__(self, space: "AddressSpace") -> None:
+        self.space = space
+        self.block_id = space.register(self)
+        self.base_address = space.address_of(self.block_id)
+        self.buf = bytearray(space.block_size)
+        self.bump = 0
+
+    def release(self) -> None:
+        self.space.unregister(self.block_id)
+
+
+class StringHeap:
+    """Size-class string allocator over block-aligned string blocks."""
+
+    def __init__(self, space: "AddressSpace", epochs: "EpochManager") -> None:
+        self._space = space
+        self._epochs = epochs
+        self._blocks: List[StringBlock] = []
+        self._current: StringBlock | None = None
+        # size class -> free addresses ready for reuse
+        self._free: Dict[int, List[int]] = {}
+        # freed but possibly still visible: (ready_epoch, size_class, addr)
+        self._limbo: Deque[Tuple[int, int, int]] = deque()
+        self._max_record = space.block_size
+        self.bytes_in_use = 0
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def size_class(payload_len: int) -> int:
+        """Smallest power-of-two record size holding *payload_len* bytes."""
+        needed = payload_len + _LEN.size
+        cls = _MIN_CLASS
+        while cls < needed:
+            cls <<= 1
+        return cls
+
+    def _reclaim_limbo(self) -> None:
+        epoch = self._epochs.global_epoch
+        while self._limbo and self._limbo[0][0] <= epoch:
+            __, cls, addr = self._limbo.popleft()
+            self._free.setdefault(cls, []).append(addr)
+
+    def _carve(self, cls: int) -> int:
+        block = self._current
+        if block is None or block.bump + cls > self._space.block_size:
+            block = StringBlock(self._space)
+            self._blocks.append(block)
+            self._current = block
+        addr = block.base_address + block.bump
+        block.bump += cls
+        return addr
+
+    # ------------------------------------------------------------------
+
+    def alloc(self, text: str) -> int:
+        """Store *text*; return the address of its record.
+
+        The empty string is stored as ``NULL_ADDRESS`` and costs nothing.
+        """
+        if not text:
+            return NULL_ADDRESS
+        data = text.encode("utf-8")
+        cls = self.size_class(len(data))
+        if cls > self._max_record:
+            raise ValueError(
+                f"string of {len(data)} bytes exceeds the maximum record "
+                f"size {self._max_record}"
+            )
+        self._reclaim_limbo()
+        free = self._free.get(cls)
+        addr = free.pop() if free else self._carve(cls)
+        block = self._space.block_at(addr)
+        off = self._space.offset_of(addr)
+        _LEN.pack_into(block.buf, off, len(data))
+        block.buf[off + _LEN.size : off + _LEN.size + len(data)] = data
+        self.bytes_in_use += cls
+        return addr
+
+    def read(self, addr: int) -> str:
+        if addr == NULL_ADDRESS:
+            return ""
+        block = self._space.block_at(addr)
+        off = self._space.offset_of(addr)
+        (length,) = _LEN.unpack_from(block.buf, off)
+        return bytes(block.buf[off + _LEN.size : off + _LEN.size + length]).decode(
+            "utf-8"
+        )
+
+    def free(self, addr: int) -> None:
+        """Schedule the record at *addr* for reuse (two-epoch delay)."""
+        if addr == NULL_ADDRESS:
+            return
+        block = self._space.block_at(addr)
+        off = self._space.offset_of(addr)
+        (length,) = _LEN.unpack_from(block.buf, off)
+        cls = self.size_class(length)
+        self.bytes_in_use -= cls
+        self._limbo.append((self._epochs.global_epoch + 2, cls, addr))
+
+    # ------------------------------------------------------------------
+
+    @property
+    def block_count(self) -> int:
+        return len(self._blocks)
+
+    @property
+    def total_bytes(self) -> int:
+        return len(self._blocks) * self._space.block_size
+
+    def close(self) -> None:
+        for block in self._blocks:
+            block.release()
+        self._blocks.clear()
+        self._current = None
+        self._free.clear()
+        self._limbo.clear()
+        self.bytes_in_use = 0

@@ -1,0 +1,31 @@
+"""Language-integrated query layer."""
+
+from repro.query.builder import (
+    Agg,
+    Avg,
+    Count,
+    Max,
+    Min,
+    Query,
+    Result,
+    Sum,
+    query,
+    ref_key,
+)
+from repro.query.expressions import Expr, param, ref_identity
+
+__all__ = [
+    "Agg",
+    "Avg",
+    "Count",
+    "Max",
+    "Min",
+    "Query",
+    "Result",
+    "Sum",
+    "query",
+    "ref_key",
+    "Expr",
+    "param",
+    "ref_identity",
+]

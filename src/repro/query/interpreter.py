@@ -1,0 +1,154 @@
+"""Pull-based iterator query evaluation (the LINQ-to-objects baseline).
+
+This engine evaluates the logical plan one row object at a time through
+layered Python generators, calling :meth:`Expr.evaluate` for every
+predicate and selector — deliberately mirroring the virtual-function-call
+evaluation model the paper identifies as the main inefficiency of
+LINQ-to-objects (section 1).  It works uniformly over managed records and
+SMC handles, and serves both as the performance baseline and as the
+reference semantics the compiled engines are tested against.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Tuple
+
+from repro.query.builder import (
+    Distinct,
+    GroupBy,
+    Having,
+    OrderBy,
+    Query,
+    Result,
+    Select,
+    Take,
+    Where,
+    WhereIn,
+)
+
+
+def _source_rows(source: Any) -> Iterable[Any]:
+    """Row objects of any supported source (handles or records)."""
+    rows = getattr(source, "iter_rows", None)
+    if rows is not None:
+        return rows()
+    return iter(source)
+
+
+def run_interpreted(query: Query, params: Dict[str, Any]) -> Result:
+    rows: Iterable[Any] = _source_rows(query.source)
+    columns: List[str] = ["*"]
+    projected = False
+
+    # NOTE: the generator stages bind their operator state through default
+    # arguments — a bare generator expression would look its free variables
+    # up lazily and every stage would see the *last* op of the loop.
+    def _filter(source, pred):
+        return (r for r in source if pred.evaluate(r, params))
+
+    def _semijoin(source, exprs, keys, negated):
+        if negated:
+            return (r for r in source if _key_of(exprs, r, params) not in keys)
+        return (r for r in source if _key_of(exprs, r, params) in keys)
+
+    def _project(source, outputs):
+        return (
+            tuple(e.evaluate(r, params) for __, e in outputs) for r in source
+        )
+
+    for op in query.ops:
+        if isinstance(op, Where):
+            rows = _filter(rows, op.pred)
+        elif isinstance(op, WhereIn):
+            sub = run_interpreted(op.subquery, params)
+            keys = {t if len(t) > 1 else t[0] for t in map(tuple, sub.rows)}
+            rows = _semijoin(rows, op.exprs, keys, op.negated)
+        elif isinstance(op, Select):
+            columns = [name for name, __ in op.outputs]
+            rows = _project(rows, op.outputs)
+            projected = True
+        elif isinstance(op, GroupBy):
+            columns, rows = _group(op, rows, params)
+            projected = True
+        elif isinstance(op, OrderBy):
+            rows = _order(op, columns, list(rows))
+        elif isinstance(op, Take):
+            rows = list(rows)[: op.n]
+        elif isinstance(op, Having):
+            rows = op.apply(columns, list(rows))
+        elif isinstance(op, Distinct):
+            rows = Distinct.apply(list(rows))
+        else:  # pragma: no cover - guarded by builder
+            raise TypeError(f"unknown op {op!r}")
+
+    materialised = list(rows)
+    if not projected:
+        return Result(["*"], materialised)
+    return Result(columns, materialised)
+
+
+def _key_of(exprs, row, params):
+    if len(exprs) == 1:
+        return exprs[0].evaluate(row, params)
+    return tuple(e.evaluate(row, params) for e in exprs)
+
+
+def _group(
+    op: GroupBy, rows: Iterable[Any], params: Dict[str, Any]
+) -> Tuple[List[str], List[tuple]]:
+    keys = op.keys
+    aggs = op.aggs
+    groups: Dict[tuple, list] = {}
+
+    def fresh_acc() -> list:
+        acc = []
+        for __, agg in aggs:
+            if agg.kind == "count":
+                acc.append(0)
+            elif agg.kind == "avg":
+                acc.append([0, 0])
+            elif agg.kind in ("min", "max"):
+                acc.append(None)
+            else:
+                acc.append(0)
+        return acc
+
+    for row in rows:
+        key = tuple(e.evaluate(row, params) for __, e in keys)
+        acc = groups.get(key)
+        if acc is None:
+            groups[key] = acc = fresh_acc()
+        for i, (__, agg) in enumerate(aggs):
+            if agg.kind == "count":
+                acc[i] += 1
+                continue
+            value = agg.expr.evaluate(row, params)
+            if agg.kind == "sum":
+                acc[i] += value
+            elif agg.kind == "avg":
+                acc[i][0] += value
+                acc[i][1] += 1
+            elif agg.kind == "min":
+                acc[i] = value if acc[i] is None else min(acc[i], value)
+            elif agg.kind == "max":
+                acc[i] = value if acc[i] is None else max(acc[i], value)
+
+    columns = [name for name, __ in keys] + [name for name, __ in aggs]
+    out: List[tuple] = []
+    for key, acc in groups.items():
+        finished = []
+        for i, (__, agg) in enumerate(aggs):
+            if agg.kind == "avg":
+                total, count = acc[i]
+                finished.append(total / count if count else None)
+            else:
+                finished.append(acc[i])
+        out.append(key + tuple(finished))
+    return columns, out
+
+
+def _order(op: OrderBy, columns: List[str], rows: List[tuple]) -> List[tuple]:
+    for name, desc in reversed(op.items):
+        idx = columns.index(name)
+        rows.sort(key=lambda r, i=idx: r[i], reverse=desc)
+    return rows

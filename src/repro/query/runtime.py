@@ -1,0 +1,153 @@
+"""Runtime helpers shared by the interpreter and the generated query code.
+
+The central piece is :func:`scan_blocks`: the block enumerator every SMC
+scan goes through.  It implements the paper's block-access consistency
+protocol for compaction groups (section 5.2):
+
+* blocks that belong to no compaction group are yielded as-is;
+* a *finished* group contributes its compacted destination block (once);
+* a group reached during the compactor's **moving phase** is relocated by
+  the reader ("helping") and the destination block is scanned;
+* a group reached during the **waiting phase** is deferred to the end of
+  the scan; if the moving phase has begun by then the reader helps,
+  otherwise it pins the group's pre-relocation state with the group's
+  query counter and scans the source blocks.
+
+The module also provides the small data-structure helpers the generated
+code uses (grouped aggregation accumulators, top-k selection), so that the
+generated source stays compact and readable.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator, List
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.memory.block import Block
+    from repro.memory.context import MemoryContext
+    from repro.memory.manager import MemoryManager
+
+
+def scan_blocks(manager: "MemoryManager", context: "MemoryContext") -> Iterator["Block"]:
+    """Yield the blocks a scan of *context* must visit, exactly once each.
+
+    Must be driven to completion (or closed) by the caller: pre-state pins
+    on compaction groups are released in a ``finally`` when the generator
+    is exhausted or closed.
+    """
+    blocks = context.blocks()
+    emitted = set()
+    seen_groups = set()
+    deferred = []
+
+    def emit(block: "Block"):
+        if block.block_id not in emitted:
+            emitted.add(block.block_id)
+            return True
+        return False
+
+    for block in blocks:
+        group = block.compaction_group
+        if group is None:
+            if emit(block):
+                yield block
+            continue
+        if id(group) in seen_groups:
+            continue
+        seen_groups.add(id(group))
+        if group.failed:
+            for src in group.sources:
+                if emit(src):
+                    yield src
+            continue
+        if group.finished:
+            if group.dest is not None and emit(group.dest):
+                yield group.dest
+            continue
+        if manager.in_moving_phase:
+            dest = manager.compactor.help_group(group)
+            if dest is not None:
+                if emit(dest):
+                    yield dest
+            else:  # group failed under pre-state readers
+                for src in group.sources:
+                    if emit(src):
+                        yield src
+            continue
+        if (
+            manager.next_relocation_epoch is not None
+            and manager.epochs.local_epoch() == manager.next_relocation_epoch
+        ):
+            # Waiting phase: process the remaining blocks first (paper
+            # section 5.2), revisit the group afterwards.
+            deferred.append(group)
+            continue
+        # Freezing epoch, or no active relocation conflict: the group's
+        # pre-state is stable for the duration of our critical section.
+        yield from _scan_prestate(manager, group, emit)
+
+    for group in deferred:
+        if group.failed:
+            for src in group.sources:
+                if emit(src):
+                    yield src
+        elif group.finished:
+            if group.dest is not None and emit(group.dest):
+                yield group.dest
+        elif manager.in_moving_phase:
+            dest = manager.compactor.help_group(group)
+            if dest is not None:
+                if emit(dest):
+                    yield dest
+            else:
+                for src in group.sources:
+                    if emit(src):
+                        yield src
+        else:
+            yield from _scan_prestate(manager, group, emit)
+
+
+def _scan_prestate(manager: "MemoryManager", group, emit) -> Iterator["Block"]:
+    """Scan a group's source blocks with its query counter held."""
+    if not group.try_pin_prestate():
+        # Relocation completed (or failed) while we were deciding.
+        if group.failed:
+            for src in group.sources:
+                if emit(src):
+                    yield src
+        elif group.dest is not None and emit(group.dest):
+            yield group.dest
+        return
+    try:
+        for src in group.sources:
+            if emit(src):
+                yield src
+    finally:
+        group.unpin_prestate()
+
+
+# ----------------------------------------------------------------------
+# Helpers used by generated query code
+# ----------------------------------------------------------------------
+
+
+def top_k(rows: List[tuple], k: int) -> List[tuple]:
+    """First *k* rows of an already-sorted row list (LIMIT)."""
+    return rows[:k]
+
+
+class AvgAcc:
+    """Streaming average accumulator (sum + count)."""
+
+    __slots__ = ("total", "count")
+
+    def __init__(self) -> None:
+        self.total = 0
+        self.count = 0
+
+    def add(self, value) -> None:
+        self.total += value
+        self.count += 1
+
+    def result(self):
+        return self.total / self.count if self.count else None

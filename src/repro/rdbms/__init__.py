@@ -1,0 +1,5 @@
+"""Column-store RDBMS comparator (SQL Server stand-in)."""
+
+from repro.rdbms.table import ColumnTable
+
+__all__ = ["ColumnTable"]

@@ -1,0 +1,522 @@
+"""Hand-written physical plans for the TPC-H queries on the column store.
+
+These play the role of SQL Server's query plans in the paper's Figure 13:
+clustered-index range scans on ``shipdate`` / ``orderdate``, value-based
+hash joins on the key columns, vectorised grouped aggregation.  The
+returned ``(columns, rows)`` pairs decode to the same Python values as
+the SMC engines, so results are directly comparable in tests.
+
+Q1–Q6 are the paper's evaluation set (Figure 13); Q7/Q10/Q12/Q14 extend
+the comparator to the repo's extra queries for cross-checking.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from decimal import Decimal
+from typing import Any, Dict, List, Tuple
+
+import numpy as np
+
+from repro.rdbms import engine as E
+from repro.rdbms.table import ColumnTable
+from repro.schema.fields import date_to_days, days_to_date
+
+Database = Dict[str, ColumnTable]
+PlanResult = Tuple[List[str], List[tuple]]
+
+
+def _dec(raw) -> Decimal:
+    return Decimal(int(raw)).scaleb(-2)
+
+
+def q1(db: Database, params: Dict[str, Any]) -> PlanResult:
+    li = db["lineitem"]
+    rows = li.range_scan("shipdate", None, date_to_days(params["q1_date"]))
+    flag = li.column("returnflag", rows)
+    status = li.column("linestatus", rows)
+    qty = li.column("quantity", rows).astype(np.int64)
+    price = li.column("extendedprice", rows).astype(np.int64)
+    disc = li.column("discount", rows).astype(np.int64)
+    tax = li.column("tax", rows).astype(np.int64)
+    disc_price = price * (100 - disc)  # scale 4
+    charge = disc_price * (100 + tax)  # scale 6
+
+    agg = E.GroupAggregator(
+        [
+            ("sum_qty", "sum"),
+            ("sum_base_price", "sum"),
+            ("sum_disc_price", "sum"),
+            ("sum_charge", "sum"),
+            ("avg_qty", "avg"),
+            ("avg_price", "avg"),
+            ("avg_disc", "avg"),
+            ("count_order", "count"),
+        ]
+    )
+    agg.absorb(
+        [flag, status],
+        [qty, price, disc_price, charge, qty, price, disc, None],
+    )
+    out = []
+    for (f, s), acc in agg.results().items():
+        out.append(
+            (
+                li.decode_value("returnflag", f),
+                li.decode_value("linestatus", s),
+                _dec(acc[0]),
+                _dec(acc[1]),
+                Decimal(acc[2]).scaleb(-4),
+                Decimal(acc[3]).scaleb(-6),
+                Decimal(acc[4][0]) / acc[4][1] / 100,
+                Decimal(acc[5][0]) / acc[5][1] / 100,
+                Decimal(acc[6][0]) / acc[6][1] / 100,
+                acc[7],
+            )
+        )
+    columns = [
+        "returnflag",
+        "linestatus",
+        "sum_qty",
+        "sum_base_price",
+        "sum_disc_price",
+        "sum_charge",
+        "avg_qty",
+        "avg_price",
+        "avg_disc",
+        "count_order",
+    ]
+    return columns, E.top_k_rows(out, [(0, False), (1, False)], None)
+
+
+def q2(db: Database, params: Dict[str, Any]) -> PlanResult:
+    part, supplier, nation, region, partsupp = (
+        db["part"],
+        db["supplier"],
+        db["nation"],
+        db["region"],
+        db["partsupp"],
+    )
+    # Region -> nations in region.
+    rk = E.select(region, None, "name", "==", params["q2_region"])
+    region_keys = set(region.column("regionkey", rk).tolist())
+    nmask = np.isin(nation.column("regionkey"), list(region_keys))
+    nation_rows = np.nonzero(nmask)[0]
+    nation_keys = set(nation.column("nationkey", nation_rows).tolist())
+    nation_name = dict(
+        zip(
+            nation.column("nationkey", nation_rows).tolist(),
+            (
+                nation.decode_value("name", c)
+                for c in nation.column("name", nation_rows)
+            ),
+        )
+    )
+    # Suppliers in the region.
+    smask = np.isin(supplier.column("nationkey"), list(nation_keys))
+    supp_rows = np.nonzero(smask)[0]
+    supp_info = {
+        int(k): (int(r))
+        for k, r in zip(supplier.column("suppkey", supp_rows).tolist(), supp_rows)
+    }
+    # Qualifying parts: size = N and type like '%BRASS'.
+    from repro.tpch.queries import Q2_TYPE_SUFFIX
+
+    prows = E.select(part, None, "size", "==", params["q2_size"])
+    type_codes = part.string_codes_where(
+        "type", lambda t: Q2_TYPE_SUFFIX in t
+    )
+    prows = E.select_in(part, prows, "type", type_codes)
+    part_keys = set(part.column("partkey", prows).tolist())
+    part_row_of = dict(zip(part.column("partkey", prows).tolist(), prows.tolist()))
+
+    # Qualifying partsupps + min cost per part.
+    ps_part = partsupp.column("partkey")
+    ps_supp = partsupp.column("suppkey")
+    ps_cost = partsupp.column("supplycost")
+    min_cost: Dict[int, int] = {}
+    qualifying: List[int] = []
+    for i in range(len(partsupp)):
+        pk = int(ps_part[i])
+        if pk not in part_keys or int(ps_supp[i]) not in supp_info:
+            continue
+        qualifying.append(i)
+        cost = int(ps_cost[i])
+        cur = min_cost.get(pk)
+        if cur is None or cost < cur:
+            min_cost[pk] = cost
+    out = []
+    for i in qualifying:
+        pk = int(ps_part[i])
+        if int(ps_cost[i]) != min_cost[pk]:
+            continue
+        srow = supp_info[int(ps_supp[i])]
+        out.append(
+            (
+                _dec(supplier.column("acctbal")[srow]),
+                supplier.decode_value("name", supplier.column("name")[srow]),
+                nation_name[int(supplier.column("nationkey")[srow])],
+                pk,
+                part.decode_value("mfgr", part.column("mfgr")[part_row_of[pk]]),
+            )
+        )
+    columns = ["acctbal", "s_name", "n_name", "partkey", "mfgr"]
+    return columns, E.top_k_rows(
+        out, [(0, True), (2, False), (1, False), (3, False)], 100
+    )
+
+
+def q3(db: Database, params: Dict[str, Any]) -> PlanResult:
+    customer, orders, li = db["customer"], db["orders"], db["lineitem"]
+    date = date_to_days(params["q3_date"])
+    crows = E.select(customer, None, "mktsegment", "==", params["q3_segment"])
+    cust_keys = set(customer.column("custkey", crows).tolist())
+    # orders.orderdate < date via the clustered index.
+    orows = orders.range_scan("orderdate", None, date, hi_open=True)
+    okeys = orders.column("orderkey", orows)
+    ocust = orders.column("custkey", orows)
+    sel = np.fromiter(
+        (int(c) in cust_keys for c in ocust), dtype=bool, count=len(ocust)
+    )
+    orows = orows[sel]
+    order_info = {
+        int(k): (int(d), int(p))
+        for k, d, p in zip(
+            orders.column("orderkey", orows).tolist(),
+            orders.column("orderdate", orows).tolist(),
+            orders.column("shippriority", orows).tolist(),
+        )
+    }
+    # lineitem.shipdate > date via the clustered index.
+    lrows = li.range_scan("shipdate", date, None, lo_open=True)
+    lkeys = li.column("orderkey", lrows)
+    price = li.column("extendedprice", lrows).astype(np.int64)
+    disc = li.column("discount", lrows).astype(np.int64)
+    revenue = price * (100 - disc)  # scale 4
+    groups: Dict[int, int] = {}
+    for k, rev in zip(lkeys.tolist(), revenue.tolist()):
+        if k in order_info:
+            groups[k] = groups.get(k, 0) + rev
+    out = [
+        (
+            k,
+            days_to_date(order_info[k][0]),
+            order_info[k][1],
+            Decimal(v).scaleb(-4),
+        )
+        for k, v in groups.items()
+    ]
+    columns = ["orderkey", "orderdate", "shippriority", "revenue"]
+    return columns, E.top_k_rows(out, [(3, True), (1, False)], 10)
+
+
+def q4(db: Database, params: Dict[str, Any]) -> PlanResult:
+    orders, li = db["orders"], db["lineitem"]
+    lo = date_to_days(params["q4_date"])
+    hi = date_to_days(params["q4_date_hi"])
+    orows = orders.range_scan("orderdate", lo, hi, hi_open=True)
+    # EXISTS lineitem with commitdate < receiptdate.
+    commit = li.column("commitdate")
+    receipt = li.column("receiptdate")
+    late = np.nonzero(commit < receipt)[0]
+    late_orders = set(li.column("orderkey", late).tolist())
+    okeys = orders.column("orderkey", orows)
+    orows = E.semi_join(okeys, orows, late_orders)
+    prio = orders.column("orderpriority", orows)
+    agg = E.GroupAggregator([("order_count", "count")])
+    agg.absorb([prio], [None])
+    out = [
+        (orders.decode_value("orderpriority", p), acc[0])
+        for (p,), acc in agg.results().items()
+    ]
+    return ["orderpriority", "order_count"], E.top_k_rows(out, [(0, False)], None)
+
+
+def q5(db: Database, params: Dict[str, Any]) -> PlanResult:
+    region, nation, supplier, customer, orders, li = (
+        db["region"],
+        db["nation"],
+        db["supplier"],
+        db["customer"],
+        db["orders"],
+        db["lineitem"],
+    )
+    rk = E.select(region, None, "name", "==", params["q5_region"])
+    region_keys = set(region.column("regionkey", rk).tolist())
+    nmask = np.isin(nation.column("regionkey"), list(region_keys))
+    nrows = np.nonzero(nmask)[0]
+    nation_name = {
+        int(k): nation.decode_value("name", c)
+        for k, c in zip(
+            nation.column("nationkey", nrows).tolist(),
+            nation.column("name", nrows).tolist(),
+        )
+    }
+    supp_nation = {
+        int(k): int(n)
+        for k, n in zip(
+            supplier.column("suppkey").tolist(),
+            supplier.column("nationkey").tolist(),
+        )
+        if int(n) in nation_name
+    }
+    cust_nation = dict(
+        zip(
+            customer.column("custkey").tolist(),
+            customer.column("nationkey").tolist(),
+        )
+    )
+    lo = date_to_days(params["q5_date"])
+    hi = date_to_days(params["q5_date_hi"])
+    orows = orders.range_scan("orderdate", lo, hi, hi_open=True)
+    order_cust = dict(
+        zip(
+            orders.column("orderkey", orows).tolist(),
+            orders.column("custkey", orows).tolist(),
+        )
+    )
+    lkeys = li.column("orderkey")
+    lsupp = li.column("suppkey")
+    price = li.column("extendedprice").astype(np.int64)
+    disc = li.column("discount").astype(np.int64)
+    groups: Dict[int, int] = {}
+    for i in range(len(li)):
+        snat = supp_nation.get(int(lsupp[i]))
+        if snat is None:
+            continue
+        ck = order_cust.get(int(lkeys[i]))
+        if ck is None:
+            continue
+        if cust_nation[int(ck)] != snat:
+            continue
+        groups[snat] = groups.get(snat, 0) + int(price[i]) * (100 - int(disc[i]))
+    out = [
+        (nation_name[n], Decimal(v).scaleb(-4)) for n, v in groups.items()
+    ]
+    return ["n_name", "revenue"], E.top_k_rows(out, [(1, True)], None)
+
+
+def q6(db: Database, params: Dict[str, Any]) -> PlanResult:
+    li = db["lineitem"]
+    lo = date_to_days(params["q6_date"])
+    hi = date_to_days(params["q6_date_hi"])
+    rows = li.range_scan("shipdate", lo, hi, hi_open=True)
+    disc = li.column("discount", rows).astype(np.int64)
+    qty = li.column("quantity", rows).astype(np.int64)
+    d_lo = int(params["q6_disc_lo"].scaleb(2))
+    d_hi = int(params["q6_disc_hi"].scaleb(2))
+    q_max = int(Decimal(params["q6_quantity"]).scaleb(2))
+    mask = (disc >= d_lo) & (disc <= d_hi) & (qty < q_max)
+    price = li.column("extendedprice", rows).astype(np.int64)
+    revenue = int(np.sum(price[mask] * disc[mask]))
+    return ["revenue"], [(Decimal(revenue).scaleb(-4),)]
+
+
+def q7(db: Database, params: Dict[str, Any]) -> PlanResult:
+    nation, supplier, customer, orders, li = (
+        db["nation"],
+        db["supplier"],
+        db["customer"],
+        db["orders"],
+        db["lineitem"],
+    )
+    nation_name = {
+        int(k): nation.decode_value("name", c)
+        for k, c in zip(
+            nation.column("nationkey").tolist(), nation.column("name").tolist()
+        )
+    }
+    wanted = {params["q7_nation_a"], params["q7_nation_b"]}
+    keys = {k for k, n in nation_name.items() if n in wanted}
+    supp_nation = {
+        int(k): int(n)
+        for k, n in zip(
+            supplier.column("suppkey").tolist(),
+            supplier.column("nationkey").tolist(),
+        )
+        if int(n) in keys
+    }
+    cust_nation = {
+        int(k): int(n)
+        for k, n in zip(
+            customer.column("custkey").tolist(),
+            customer.column("nationkey").tolist(),
+        )
+        if int(n) in keys
+    }
+    order_cust = dict(
+        zip(
+            orders.column("orderkey").tolist(),
+            orders.column("custkey").tolist(),
+        )
+    )
+    lo = date_to_days(params["q7_date_lo"])
+    hi = date_to_days(params["q7_date_hi"])
+    rows = li.range_scan("shipdate", lo, hi)
+    groups: Dict[tuple, int] = {}
+    ship = li.column("shipdate", rows)
+    okey = li.column("orderkey", rows)
+    skey = li.column("suppkey", rows)
+    price = li.column("extendedprice", rows).astype(np.int64)
+    disc = li.column("discount", rows).astype(np.int64)
+    for i in range(len(rows)):
+        snat = supp_nation.get(int(skey[i]))
+        if snat is None:
+            continue
+        ck = order_cust.get(int(okey[i]))
+        if ck is None:
+            continue
+        cnat = cust_nation.get(int(ck))
+        if cnat is None or cnat == snat:
+            continue
+        year = days_to_date(int(ship[i])).year
+        key = (nation_name[snat], nation_name[cnat], year)
+        groups[key] = groups.get(key, 0) + int(price[i]) * (100 - int(disc[i]))
+    out = [
+        (sn, cn, year, Decimal(v).scaleb(-4))
+        for (sn, cn, year), v in groups.items()
+    ]
+    columns = ["supp_nation", "cust_nation", "year", "revenue"]
+    return columns, E.top_k_rows(out, [(0, False), (1, False), (2, False)], None)
+
+
+def q10(db: Database, params: Dict[str, Any]) -> PlanResult:
+    nation, customer, orders, li = (
+        db["nation"],
+        db["customer"],
+        db["orders"],
+        db["lineitem"],
+    )
+    nation_name = {
+        int(k): nation.decode_value("name", c)
+        for k, c in zip(
+            nation.column("nationkey").tolist(), nation.column("name").tolist()
+        )
+    }
+    cust = {
+        int(k): (
+            customer.decode_value("name", n),
+            int(b),
+            nation_name[int(nk)],
+        )
+        for k, n, b, nk in zip(
+            customer.column("custkey").tolist(),
+            customer.column("name").tolist(),
+            customer.column("acctbal").tolist(),
+            customer.column("nationkey").tolist(),
+        )
+    }
+    lo = date_to_days(params["q10_date"])
+    hi = date_to_days(params["q10_date_hi"])
+    orows = orders.range_scan("orderdate", lo, hi, hi_open=True)
+    order_cust = dict(
+        zip(
+            orders.column("orderkey", orows).tolist(),
+            orders.column("custkey", orows).tolist(),
+        )
+    )
+    flag_code = db["lineitem"].encode_value("returnflag", "R")
+    lrows = E.select(li, None, "returnflag", "==", "R")
+    del flag_code
+    okey = li.column("orderkey", lrows)
+    price = li.column("extendedprice", lrows).astype(np.int64)
+    disc = li.column("discount", lrows).astype(np.int64)
+    groups: Dict[int, int] = {}
+    for i in range(len(lrows)):
+        ck = order_cust.get(int(okey[i]))
+        if ck is None:
+            continue
+        groups[int(ck)] = groups.get(int(ck), 0) + int(price[i]) * (
+            100 - int(disc[i])
+        )
+    out = []
+    for ck, v in groups.items():
+        name, bal, nat = cust[ck]
+        out.append((ck, name, _dec(bal), nat, Decimal(v).scaleb(-4)))
+    columns = ["custkey", "name", "acctbal", "nation", "revenue"]
+    return columns, E.top_k_rows(out, [(4, True), (0, False)], 20)
+
+
+def q12(db: Database, params: Dict[str, Any]) -> PlanResult:
+    orders, li = db["orders"], db["lineitem"]
+    order_prio = dict(
+        zip(
+            orders.column("orderkey").tolist(),
+            orders.column("orderpriority").tolist(),
+        )
+    )
+    high_codes = {
+        orders.encode_value("orderpriority", p) for p in ("1-URGENT", "2-HIGH")
+    }
+    mode_codes = li.string_codes_where(
+        "shipmode", lambda m: m in ("MAIL", "SHIP")
+    )
+    rows = E.select_in(li, None, "shipmode", mode_codes)
+    commit = li.column("commitdate", rows)
+    receipt = li.column("receiptdate", rows)
+    ship = li.column("shipdate", rows)
+    lo = date_to_days(params["q12_date"])
+    hi = date_to_days(params["q12_date_hi"])
+    mask = (commit < receipt) & (ship < commit) & (receipt >= lo) & (receipt < hi)
+    rows = rows[mask]
+    modes = li.column("shipmode", rows)
+    okeys = li.column("orderkey", rows)
+    groups: Dict[int, list] = {}
+    for i in range(len(rows)):
+        prio = order_prio[int(okeys[i])]
+        acc = groups.setdefault(int(modes[i]), [0, 0])
+        if prio in high_codes:
+            acc[0] += 1
+        else:
+            acc[1] += 1
+    out = [
+        (li.decode_value("shipmode", m), acc[0], acc[1])
+        for m, acc in groups.items()
+    ]
+    columns = ["shipmode", "high_line_count", "low_line_count"]
+    return columns, E.top_k_rows(out, [(0, False)], None)
+
+
+def q14(db: Database, params: Dict[str, Any]) -> PlanResult:
+    part, li = db["part"], db["lineitem"]
+    promo_codes = set(
+        part.string_codes_where("type", lambda t: t.startswith("PROMO")).tolist()
+    )
+    part_type = dict(
+        zip(part.column("partkey").tolist(), part.column("type").tolist())
+    )
+    lo = date_to_days(params["q14_date"])
+    hi = date_to_days(params["q14_date_hi"])
+    rows = li.range_scan("shipdate", lo, hi, hi_open=True)
+    pkeys = li.column("partkey", rows)
+    price = li.column("extendedprice", rows).astype(np.int64)
+    disc = li.column("discount", rows).astype(np.int64)
+    revenue = price * (100 - disc)
+    promo = 0
+    total = 0
+    for i in range(len(rows)):
+        v = int(revenue[i])
+        total += v
+        if part_type[int(pkeys[i])] in promo_codes:
+            promo += v
+    return ["promo_revenue", "total_revenue"], [
+        (Decimal(promo).scaleb(-4), Decimal(total).scaleb(-4))
+    ]
+
+
+PLANS = {
+    "q1": q1,
+    "q2": q2,
+    "q3": q3,
+    "q4": q4,
+    "q5": q5,
+    "q6": q6,
+    "q7": q7,
+    "q10": q10,
+    "q12": q12,
+    "q14": q14,
+}
+
+
+def run_plan(name: str, db: Database, params: Dict[str, Any]) -> PlanResult:
+    return PLANS[name](db, params)

@@ -1,0 +1,41 @@
+"""Schema layer: field types, slot layouts and tabular classes."""
+
+from repro.schema.fields import (
+    BoolField,
+    CharField,
+    DateField,
+    DecimalField,
+    Field,
+    Float64Field,
+    Int8Field,
+    Int16Field,
+    Int32Field,
+    Int64Field,
+    RefField,
+    VarStringField,
+    date_to_days,
+    days_to_date,
+)
+from repro.schema.layout import SlotLayout
+from repro.schema.tabular import Tabular, TabularMeta, resolve_tabular
+
+__all__ = [
+    "BoolField",
+    "CharField",
+    "DateField",
+    "DecimalField",
+    "Field",
+    "Float64Field",
+    "Int8Field",
+    "Int16Field",
+    "Int32Field",
+    "Int64Field",
+    "RefField",
+    "VarStringField",
+    "date_to_days",
+    "days_to_date",
+    "SlotLayout",
+    "Tabular",
+    "TabularMeta",
+    "resolve_tabular",
+]

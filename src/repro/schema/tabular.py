@@ -1,0 +1,153 @@
+"""Tabular classes: the ``tabular`` class modifier (paper section 2).
+
+A tabular class declares the schema of objects stored in a self-managed
+collection.  The paper enforces, statically:
+
+* tabular classes may only reference other tabular classes (so whole
+  collections can be excluded from garbage collection);
+* SMCs cannot be defined on base classes or interfaces — no inheritance
+  between tabular classes — so all objects in a collection share one size
+  and layout;
+* strings are owned by the object.
+
+In this reproduction a tabular class is declared by subclassing
+:class:`Tabular` with :class:`~repro.schema.fields.Field` attributes::
+
+    class Person(Tabular):
+        name = CharField(24)
+        age = Int32Field()
+
+The class itself is a schema object — it is never instantiated.  Rows are
+created by ``Collection.add`` and surfaced as handles.  For the managed
+baselines, :meth:`Tabular.managed_class` generates a plain ``__slots__``
+record class with the same fields.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type, Union
+
+from repro.errors import TabularTypeError
+from repro.schema.fields import Field, RefField
+from repro.schema.layout import SlotLayout
+
+#: Global registry resolving tabular class names (for string RefField targets).
+_REGISTRY: Dict[str, type] = {}
+
+
+def resolve_tabular(target: Union[str, type]) -> type:
+    """Resolve a RefField target to its tabular class, validating it."""
+    if isinstance(target, str):
+        cls = _REGISTRY.get(target)
+        if cls is None:
+            raise TabularTypeError(
+                f"reference target {target!r} is not a known tabular class"
+            )
+        return cls
+    if not (isinstance(target, type) and isinstance(target, TabularMeta)):
+        raise TabularTypeError(
+            f"references from tabular classes must target tabular classes, "
+            f"got {target!r}"
+        )
+    return target
+
+
+class TabularMeta(type):
+    """Metaclass performing the static tabular-type checks."""
+
+    def __new__(mcls, name, bases, namespace):
+        cls = super().__new__(mcls, name, bases, namespace)
+        if namespace.get("_tabular_root_", False):
+            return cls
+
+        # No inheritance between tabular classes: the only allowed base is
+        # the Tabular root itself.
+        for base in bases:
+            if isinstance(base, TabularMeta) and not base.__dict__.get(
+                "_tabular_root_", False
+            ):
+                raise TabularTypeError(
+                    f"tabular class {name} may not inherit from tabular "
+                    f"class {base.__name__}; collections require a single "
+                    f"fixed layout (paper section 2)"
+                )
+            if not isinstance(base, TabularMeta):
+                raise TabularTypeError(
+                    f"tabular class {name} may not inherit from "
+                    f"non-tabular {base.__name__}"
+                )
+
+        fields: List[Field] = []
+        for attr, value in namespace.items():
+            if isinstance(value, Field):
+                if value.owner is not None:
+                    raise TabularTypeError(
+                        f"field instance {attr} is already bound to "
+                        f"{value.owner.__name__}; declare a fresh Field"
+                    )
+                value._bind(cls, attr, len(fields))
+                fields.append(value)
+        if not fields:
+            raise TabularTypeError(f"tabular class {name} declares no fields")
+
+        # References may only target tabular classes; class targets are
+        # validated eagerly, string targets lazily at resolution time.
+        for f in fields:
+            if isinstance(f, RefField) and not isinstance(f.target, str):
+                resolve_tabular(f.target)
+
+        cls.__fields__ = fields
+        cls.__layout__ = SlotLayout(fields, name)
+        cls._managed_class = None
+        _REGISTRY[name] = cls
+        return cls
+
+    def __call__(cls, *args, **kwargs):
+        raise TabularTypeError(
+            f"{cls.__name__} is a tabular schema class; create rows with "
+            f"Collection.add(...) or plain records with "
+            f"{cls.__name__}.managed_class()"
+        )
+
+
+class Tabular(metaclass=TabularMeta):
+    """Root marker class for tabular schema declarations."""
+
+    _tabular_root_ = True
+
+    __fields__: List[Field] = []
+    __layout__: SlotLayout = None  # type: ignore[assignment]
+
+    @classmethod
+    def layout(cls) -> SlotLayout:
+        return cls.__layout__
+
+    @classmethod
+    def field_names(cls) -> List[str]:
+        return [f.name for f in cls.__fields__]
+
+    @classmethod
+    def managed_class(cls) -> Type:
+        """Plain ``__slots__`` record class for the managed baselines.
+
+        The generated class mirrors the tabular fields as ordinary Python
+        attributes — the analogue of storing regular managed objects in
+        ``List<T>`` / ``ConcurrentDictionary`` in the paper's evaluation.
+        """
+        record = cls.__dict__.get("_managed_class")
+        if record is not None:
+            return record
+        names = [f.name for f in cls.__fields__]
+        params = ", ".join(f"{n}=None" for n in names)
+        body = "\n".join(f"        self.{n} = {n}" for n in names)
+        src = (
+            f"class {cls.__name__}Record:\n"
+            f"    __slots__ = {tuple(names)!r}\n"
+            f"    def __init__(self, {params}):\n{body}\n"
+        )
+        scope: Dict[str, object] = {}
+        exec(src, scope)  # noqa: S102 - deliberate, static codegen
+        record = scope[f"{cls.__name__}Record"]
+        record.__tabular__ = cls
+        cls._managed_class = record
+        return record

@@ -1,0 +1,16 @@
+"""TPC-H workload: schema, generator, loaders, queries."""
+
+from repro.tpch.datagen import TpchData, generate
+from repro.tpch.loader import load_managed, load_rdbms, load_smc
+from repro.tpch.queries import DEFAULT_PARAMS, QUERIES, run_query
+
+__all__ = [
+    "TpchData",
+    "generate",
+    "load_managed",
+    "load_rdbms",
+    "load_smc",
+    "DEFAULT_PARAMS",
+    "QUERIES",
+    "run_query",
+]

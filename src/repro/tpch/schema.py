@@ -1,0 +1,144 @@
+"""Object-oriented TPC-H schema (paper section 7).
+
+The paper maps TPC-H tables to collections and each record to an object
+composed of primitive fields plus *references* to other records for all
+primary-/foreign-key relations, so that most joins are performed by
+following references.  The integer key columns are retained alongside the
+references — the relational comparator (``repro.rdbms``) joins on them,
+and TPC-H query predicates occasionally need them.
+
+Comments are variable-length strings owned by their object (string-heap
+records); all other strings are fixed-width ``CHAR`` columns as in the
+TPC-H DDL.
+"""
+
+from __future__ import annotations
+
+from repro.schema import (
+    CharField,
+    DateField,
+    DecimalField,
+    Int32Field,
+    Int64Field,
+    RefField,
+    Tabular,
+    VarStringField,
+)
+
+
+class Region(Tabular):
+    regionkey = Int32Field()
+    name = CharField(12)
+    comment = VarStringField()
+
+
+class Nation(Tabular):
+    nationkey = Int32Field()
+    name = CharField(25)
+    region = RefField("Region")
+    regionkey = Int32Field()
+    comment = VarStringField()
+
+
+class Supplier(Tabular):
+    suppkey = Int32Field()
+    name = CharField(25)
+    address = VarStringField()
+    nation = RefField("Nation")
+    nationkey = Int32Field()
+    phone = CharField(15)
+    acctbal = DecimalField(2)
+    comment = VarStringField()
+
+
+class Customer(Tabular):
+    custkey = Int32Field()
+    name = CharField(25)
+    address = VarStringField()
+    nation = RefField("Nation")
+    nationkey = Int32Field()
+    phone = CharField(15)
+    acctbal = DecimalField(2)
+    mktsegment = CharField(10)
+    comment = VarStringField()
+
+
+class Part(Tabular):
+    partkey = Int32Field()
+    name = VarStringField()
+    mfgr = CharField(25)
+    brand = CharField(10)
+    type = CharField(25)
+    size = Int32Field()
+    container = CharField(10)
+    retailprice = DecimalField(2)
+    comment = VarStringField()
+
+
+class PartSupp(Tabular):
+    part = RefField("Part")
+    supplier = RefField("Supplier")
+    partkey = Int32Field()
+    suppkey = Int32Field()
+    availqty = Int32Field()
+    supplycost = DecimalField(2)
+    comment = VarStringField()
+
+
+class Orders(Tabular):
+    orderkey = Int64Field()
+    customer = RefField("Customer")
+    custkey = Int32Field()
+    orderstatus = CharField(1)
+    totalprice = DecimalField(2)
+    orderdate = DateField()
+    orderpriority = CharField(15)
+    clerk = CharField(15)
+    shippriority = Int32Field()
+    comment = VarStringField()
+
+
+class Lineitem(Tabular):
+    order = RefField("Orders")
+    part = RefField("Part")
+    supplier = RefField("Supplier")
+    orderkey = Int64Field()
+    partkey = Int32Field()
+    suppkey = Int32Field()
+    linenumber = Int32Field()
+    quantity = DecimalField(2)
+    extendedprice = DecimalField(2)
+    discount = DecimalField(2)
+    tax = DecimalField(2)
+    returnflag = CharField(1)
+    linestatus = CharField(1)
+    shipdate = DateField()
+    commitdate = DateField()
+    receiptdate = DateField()
+    shipinstruct = CharField(25)
+    shipmode = CharField(10)
+    comment = VarStringField()
+
+
+#: Load order respecting foreign-key dependencies.
+TABLES = (
+    "region",
+    "nation",
+    "supplier",
+    "customer",
+    "part",
+    "partsupp",
+    "orders",
+    "lineitem",
+)
+
+SCHEMAS = {
+    "region": Region,
+    "nation": Nation,
+    "supplier": Supplier,
+    "customer": Customer,
+    "part": Part,
+    "partsupp": PartSupp,
+    "orders": Orders,
+    "lineitem": Lineitem,
+}

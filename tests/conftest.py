@@ -1,0 +1,34 @@
+"""Shared fixtures: memory managers and session-scoped TPC-H datasets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.memory.manager import MemoryManager
+from repro.tpch.datagen import generate
+
+
+@pytest.fixture
+def manager():
+    m = MemoryManager()
+    yield m
+    m.close()
+
+
+@pytest.fixture
+def direct_manager():
+    m = MemoryManager(direct_pointers=True)
+    yield m
+    m.close()
+
+
+@pytest.fixture(scope="session")
+def tpch_tiny():
+    """~3k lineitems; enough for cross-engine value checks."""
+    return generate(0.0005, seed=42)
+
+
+@pytest.fixture(scope="session")
+def tpch_small():
+    """~12k lineitems; used by the heavier integration tests."""
+    return generate(0.002, seed=42)

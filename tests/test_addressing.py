@@ -1,0 +1,95 @@
+"""Address-space arithmetic and block registration."""
+
+import pytest
+
+from repro.errors import MemoryExhaustedError
+from repro.memory.addressing import NULL_ADDRESS, AddressSpace
+
+
+def test_block_size_is_power_of_two():
+    space = AddressSpace(block_shift=12)
+    assert space.block_size == 4096
+
+
+def test_block_shift_bounds():
+    with pytest.raises(ValueError):
+        AddressSpace(block_shift=7)
+    with pytest.raises(ValueError):
+        AddressSpace(block_shift=31)
+
+
+def test_register_starts_at_one():
+    space = AddressSpace()
+    assert space.register(object()) == 1
+
+
+def test_address_roundtrip():
+    space = AddressSpace(block_shift=16)
+    addr = space.address_of(5, 1234)
+    assert space.block_id_of(addr) == 5
+    assert space.offset_of(addr) == 1234
+
+
+def test_address_zero_is_never_valid():
+    space = AddressSpace()
+    with pytest.raises(ValueError):
+        space.block_at(0)
+
+
+def test_null_address_constant():
+    assert NULL_ADDRESS == -1
+
+
+def test_block_at_resolves_registered_block():
+    space = AddressSpace()
+    marker = object()
+    block_id = space.register(marker)
+    assert space.block_at(space.address_of(block_id, 42)) is marker
+
+
+def test_unregister_invalidates_addresses():
+    space = AddressSpace()
+    block_id = space.register(object())
+    space.unregister(block_id)
+    with pytest.raises(ValueError):
+        space.block_at(space.address_of(block_id))
+
+
+def test_unregister_twice_rejected():
+    space = AddressSpace()
+    block_id = space.register(object())
+    space.unregister(block_id)
+    with pytest.raises(ValueError):
+        space.unregister(block_id)
+
+
+def test_block_ids_are_recycled():
+    space = AddressSpace()
+    first = space.register(object())
+    space.unregister(first)
+    assert space.register(object()) == first
+
+
+def test_try_block_at_dead_address():
+    space = AddressSpace()
+    assert space.try_block_at(space.address_of(99)) is None
+    assert space.try_block_at(0) is None
+
+
+def test_live_blocks_iteration():
+    space = AddressSpace()
+    markers = [object() for __ in range(3)]
+    ids = [space.register(m) for m in markers]
+    space.unregister(ids[1])
+    live = list(space.live_blocks())
+    assert markers[0] in live and markers[2] in live and markers[1] not in live
+    assert space.live_block_count == 2
+
+
+def test_total_bytes_tracks_live_blocks():
+    space = AddressSpace(block_shift=12)
+    assert space.total_bytes == 0
+    bid = space.register(object())
+    assert space.total_bytes == 4096
+    space.unregister(bid)
+    assert space.total_bytes == 0

@@ -1,0 +1,148 @@
+"""Data block layout, slot transitions and directory scans."""
+
+import numpy as np
+import pytest
+
+from repro.memory.addressing import AddressSpace
+from repro.memory.block import BLOCK_HEADER_SIZE, Block
+from repro.memory.slots import FREE, LIMBO, VALID
+
+
+@pytest.fixture
+def space():
+    return AddressSpace(block_shift=12)  # 4 KiB blocks keep tests small
+
+
+@pytest.fixture
+def block(space):
+    return Block(space, slot_size=64, type_id=1, context_id=0)
+
+
+def test_slot_size_must_be_aligned(space):
+    with pytest.raises(ValueError):
+        Block(space, slot_size=30, type_id=1, context_id=0)
+
+
+def test_slot_size_must_fit_header(space):
+    with pytest.raises(ValueError):
+        Block(space, slot_size=8, type_id=1, context_id=0)
+
+
+def test_oversized_slot_rejected(space):
+    with pytest.raises(ValueError):
+        Block(space, slot_size=1 << 13, type_id=1, context_id=0)
+
+
+def test_slot_count_fits_block(block, space):
+    per_slot = block.slot_size + 4 + 8
+    assert block.slot_count >= (space.block_size - BLOCK_HEADER_SIZE) // per_slot - 1
+    assert block.slot_count >= 1
+
+
+def test_segments_do_not_overlap(block, space):
+    dir_start = BLOCK_HEADER_SIZE + block.slot_count * block.slot_size
+    assert block.object_offset == BLOCK_HEADER_SIZE
+    assert dir_start + block.slot_count * 4 <= space.block_size
+    # back-pointer view is 8-byte aligned inside the buffer
+    assert block.backptrs.dtype == np.int64
+
+
+def test_slot_address_roundtrip(block):
+    for slot in (0, 1, block.slot_count - 1):
+        addr = block.slot_address(slot)
+        assert block.slot_of_address(addr) == slot
+
+
+def test_block_alignment_trick(block, space):
+    addr = block.slot_address(3)
+    assert space.block_at(addr) is block
+
+
+def test_fresh_block_all_free(block):
+    assert block.valid_count == 0
+    assert all(block.state_of(s) == FREE for s in range(block.slot_count))
+    assert len(block.valid_slots()) == 0
+
+
+def test_mark_valid_and_limbo(block):
+    block.mark_valid(0)
+    assert block.state_of(0) == VALID
+    assert block.valid_count == 1
+    block.mark_limbo(0, epoch=5)
+    assert block.state_of(0) == LIMBO
+    assert block.removal_epoch_of(0) == 5
+    assert block.valid_count == 0
+    assert block.limbo_count == 1
+
+
+def test_mark_limbo_requires_valid(block):
+    with pytest.raises(ValueError):
+        block.mark_limbo(0, epoch=1)
+
+
+def test_valid_slots_vectorised(block):
+    for slot in (1, 3, 5):
+        block.mark_valid(slot)
+    assert block.valid_slots().tolist() == [1, 3, 5]
+
+
+def test_find_allocatable_prefers_first_free(block):
+    assert block.find_allocatable(0, global_epoch=0) == 0
+    block.mark_valid(0)
+    assert block.find_allocatable(0, global_epoch=0) == 1
+
+
+def test_find_allocatable_skips_young_limbo(block):
+    block.mark_valid(0)
+    block.mark_limbo(0, epoch=10)
+    for s in range(1, block.slot_count):
+        block.mark_valid(s)
+    assert block.find_allocatable(0, global_epoch=11) is None
+    assert block.find_allocatable(0, global_epoch=12) == 0
+
+
+def test_find_allocatable_respects_start(block):
+    assert block.find_allocatable(5, global_epoch=0) == 5
+
+
+def test_limbo_fraction_and_occupancy(block):
+    n = block.slot_count
+    for s in range(n):
+        block.mark_valid(s)
+    assert block.occupancy == 1.0
+    block.mark_limbo(0, 0)
+    assert block.limbo_fraction == pytest.approx(1 / n)
+    assert block.occupancy == pytest.approx((n - 1) / n)
+
+
+def test_reset_clears_everything(block):
+    block.mark_valid(0)
+    block.backptrs[0] = 77
+    block.slot_incs[0] = 9
+    block.mark_limbo(0, 3)
+    block.alloc_cursor = 5
+    block.reset(type_id=2, context_id=1)
+    assert block.type_id == 2
+    assert block.state_of(0) == FREE
+    assert block.backptrs[0] == -1
+    assert int(block.slot_incs[0]) == 0
+    assert block.alloc_cursor == 0
+    assert block.limbo_count == 0
+
+
+def test_reset_refuses_live_objects(block):
+    block.mark_valid(0)
+    with pytest.raises(ValueError):
+        block.reset(type_id=2, context_id=1)
+
+
+def test_slot_incs_view_is_strided_into_buffer(block):
+    block.slot_incs[2] = 12345
+    off = block.object_offset + 2 * block.slot_size
+    assert int.from_bytes(block.buf[off : off + 4], "little") == 12345
+
+
+def test_release_returns_address_range(block, space):
+    addr = block.slot_address(0)
+    block.release()
+    assert space.try_block_at(addr) is None

@@ -1,0 +1,72 @@
+"""Command-line interface."""
+
+import subprocess
+import sys
+
+import pytest
+
+
+def _repro(*args, timeout=240):
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+@pytest.fixture(scope="module")
+def snapshot(tmp_path_factory):
+    path = str(tmp_path_factory.mktemp("cli") / "tpch.smcsnap")
+    proc = _repro("gen", "--sf", "0.001", "--out", path)
+    assert proc.returncode == 0, proc.stderr
+    assert "wrote" in proc.stdout
+    return path
+
+
+def test_gen_creates_snapshot(snapshot):
+    import os
+
+    assert os.path.getsize(snapshot) > 1000
+
+
+def test_info(snapshot):
+    proc = _repro("info", snapshot)
+    assert proc.returncode == 0, proc.stderr
+    assert "lineitem" in proc.stdout
+    assert "MemoryManager" in proc.stdout
+
+
+def test_query_compiled(snapshot):
+    proc = _repro("query", snapshot, "q6")
+    assert proc.returncode == 0, proc.stderr
+    assert "revenue" in proc.stdout
+    assert "1 row(s)" in proc.stdout
+
+
+def test_query_interpreted_matches(snapshot):
+    a = _repro("query", snapshot, "q4")
+    b = _repro("query", snapshot, "q4", "--engine", "interpreted")
+    assert a.returncode == b.returncode == 0
+    # Same table body (timings differ).
+    body = lambda out: [l for l in out.splitlines() if "|" in l]  # noqa: E731
+    assert body(a.stdout) == body(b.stdout)
+
+
+def test_query_explain(snapshot):
+    proc = _repro("query", snapshot, "q1", "--explain")
+    assert proc.returncode == 0
+    assert "backend: smc-unsafe" in proc.stdout
+    assert "groupby[" in proc.stdout
+
+
+def test_query_unknown_rejected(snapshot):
+    proc = _repro("query", snapshot, "q99")
+    assert proc.returncode == 2
+    assert "unknown query" in proc.stderr
+
+
+def test_bench_unknown_figure_rejected():
+    proc = _repro("bench", "fig99")
+    assert proc.returncode == 2
+    assert "no bench matches" in proc.stderr

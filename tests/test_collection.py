@@ -1,0 +1,260 @@
+"""Self-managed collection semantics (paper section 2)."""
+
+import datetime
+from decimal import Decimal
+
+import pytest
+
+from repro.core.collection import Collection
+from repro.errors import NullReferenceError, TabularTypeError
+from repro.schema import Tabular
+
+from tests.schemas import TNode, TNote, TOrder, TPerson
+
+
+@pytest.fixture
+def persons(manager):
+    return Collection(TPerson, manager=manager)
+
+
+@pytest.fixture
+def orders(manager, persons):
+    return Collection(TOrder, manager=manager)
+
+
+def test_requires_tabular_class(manager):
+    with pytest.raises(TabularTypeError):
+        Collection(int, manager=manager)
+    with pytest.raises(TabularTypeError):
+        Collection(Tabular, manager=manager)
+
+
+def test_add_returns_live_handle(persons):
+    h = persons.add(name="Adam", age=27)
+    assert h.is_alive
+    assert h.name == "Adam"
+    assert h.age == 27
+    assert h.balance == Decimal(0)
+    assert len(persons) == 1
+
+
+def test_add_rejects_unknown_field(persons):
+    with pytest.raises(TypeError):
+        persons.add(nam="typo")
+
+
+def test_remove_ends_lifetime(persons):
+    h = persons.add(name="Adam", age=27)
+    persons.remove(h)
+    assert len(persons) == 0
+    assert not h.is_alive
+    with pytest.raises(NullReferenceError):
+        __ = h.name
+
+
+def test_remove_twice_raises(persons):
+    h = persons.add(name="Adam", age=27)
+    persons.remove(h)
+    with pytest.raises(NullReferenceError):
+        persons.remove(h)
+
+
+def test_all_references_null_after_remove(persons, orders):
+    p = persons.add(name="Zoe", age=31)
+    o1 = orders.add(orderkey=1, owner=p)
+    o2 = orders.add(orderkey=2, owner=p)
+    persons.remove(p)
+    for o in (o1, o2):
+        with pytest.raises(NullReferenceError):
+            __ = o.owner.name
+
+
+def test_enumeration_in_memory_order(persons):
+    for i in range(100):
+        persons.add(name=f"p{i}", age=i)
+    ages = [h.age for h in persons]
+    assert ages == list(range(100))
+
+
+def test_enumeration_skips_removed(persons):
+    handles = [persons.add(name=f"p{i}", age=i) for i in range(10)]
+    for h in handles[::2]:
+        persons.remove(h)
+    assert sorted(h.age for h in persons) == [1, 3, 5, 7, 9]
+
+
+def test_handles_equal_by_reference(persons):
+    h = persons.add(name="A", age=1)
+    clones = list(persons)
+    assert clones[0] == h
+    assert hash(clones[0]) == hash(h)
+
+
+def test_field_update_through_handle(persons):
+    h = persons.add(name="A", age=1)
+    h.age = 42
+    h.balance = Decimal("12.50")
+    assert h.age == 42
+    assert h.balance == Decimal("12.50")
+
+
+def test_ref_update_through_handle(persons, orders):
+    a = persons.add(name="A", age=1)
+    b = persons.add(name="B", age=2)
+    o = orders.add(orderkey=1, owner=a)
+    o.owner = b
+    assert o.owner.name == "B"
+    o.owner = None
+    assert o.owner is None
+
+
+def test_ref_accepts_raw_ref(persons, orders):
+    p = persons.add(name="A", age=1)
+    o = orders.add(orderkey=1, owner=p.ref)
+    assert o.owner == p
+
+
+def test_ref_rejects_junk(persons, orders):
+    with pytest.raises(TypeError):
+        orders.add(orderkey=1, owner="not a handle")
+
+
+def test_null_reference_default(orders):
+    o = orders.add(orderkey=9)
+    assert o.owner is None
+
+
+def test_self_referencing_collection(manager):
+    nodes = Collection(TNode, manager=manager)
+    tail = nodes.add(value=2)
+    head = nodes.add(value=1, next=tail)
+    assert head.next.value == 2
+    assert head.next.next is None
+
+
+def test_clear(persons):
+    for i in range(20):
+        persons.add(name=f"p{i}", age=i)
+    assert persons.clear() == 20
+    assert len(persons) == 0
+    assert list(persons) == []
+
+
+def test_strings_owned_by_objects(manager):
+    notes = Collection(TNote, manager=manager)
+    n = notes.add(text="the quick brown fox", stars=5)
+    assert manager.strings.bytes_in_use > 0
+    assert n.text == "the quick brown fox"
+    notes.remove(n)
+    assert manager.strings.bytes_in_use == 0
+
+
+def test_collections_share_manager_registry(manager, persons, orders):
+    assert manager.collections["TPerson"] is persons
+    assert manager.collections["TOrder"] is orders
+
+
+def test_date_and_decimal_fields(orders, persons):
+    p = persons.add(name="A", age=1)
+    o = orders.add(
+        orderkey=5,
+        owner=p,
+        total=Decimal("123.45"),
+        placed=datetime.date(2020, 6, 1),
+    )
+    assert o.total == Decimal("123.45")
+    assert o.placed == datetime.date(2020, 6, 1)
+
+
+def test_memory_bytes_grows_with_blocks(persons, manager):
+    assert persons.memory_bytes() == 0
+    persons.add(name="x", age=1)
+    assert persons.memory_bytes() == manager.space.block_size
+
+
+def test_slot_reuse_after_epoch_advance():
+    """Limbo slots are recycled once the block cycles through the queue.
+
+    The allocation scan prefers untouched FREE slots ahead of the cursor
+    (paper section 3.5), so reuse kicks in when the exhausted block comes
+    back from the reclamation queue — the block count must stay flat
+    under steady churn.
+    """
+    from repro.memory.manager import MemoryManager
+
+    m = MemoryManager(block_shift=10, reclamation_threshold=0.05)
+    persons = Collection(TPerson, manager=m)
+    live = [persons.add(name=f"p{i}", age=i) for i in range(200)]
+    blocks_after_load = persons.context.block_count()
+    for round_ in range(10):
+        for h in live:
+            persons.remove(h)
+        live = [persons.add(name=f"r{round_}-{i}", age=i) for i in range(200)]
+    assert persons.context.block_count() <= blocks_after_load + 2
+    assert m.stats.limbo_reuses > 0
+    m.close()
+
+
+def test_unknown_attribute_raises(persons):
+    h = persons.add(name="A", age=1)
+    with pytest.raises(AttributeError):
+        __ = h.bogus
+    with pytest.raises(AttributeError):
+        h.bogus = 1
+
+
+def test_remove_where_bulk(manager):
+    persons = Collection(TPerson, manager=manager)
+    for i in range(40):
+        persons.add(name=f"p{i}", age=i)
+    removed = persons.remove_where(TPerson.age >= 30)
+    assert removed == 10
+    assert len(persons) == 30
+    assert max(h.age for h in persons) == 29
+
+
+def test_remove_where_frees_strings(manager):
+    notes = Collection(TNote, manager=manager)
+    for i in range(10):
+        notes.add(text=f"note number {i}", stars=i)
+    assert manager.strings.bytes_in_use > 0
+    notes.remove_where(TNote.stars >= 0)
+    assert manager.strings.bytes_in_use == 0
+    assert len(notes) == 0
+
+
+def test_update_where_bulk(manager):
+    persons = Collection(TPerson, manager=manager)
+    for i in range(20):
+        persons.add(name=f"p{i}", age=i)
+    updated = persons.update_where(TPerson.age < 5, name="young")
+    assert updated == 5
+    assert sum(1 for h in persons if h.name == "young") == 5
+
+
+def test_update_where_rejects_unknown_field(manager):
+    persons = Collection(TPerson, manager=manager)
+    persons.add(name="x", age=1)
+    with pytest.raises(TypeError):
+        persons.update_where(TPerson.age >= 0, bogus=1)
+
+
+def test_query_scalar_terminals(manager):
+    from decimal import Decimal
+
+    persons = Collection(TPerson, manager=manager)
+    for i in range(10):
+        persons.add(name="x", age=i, balance=Decimal(i))
+    q = persons.query().where(TPerson.age >= 5)
+    assert q.sum(TPerson.age) == 5 + 6 + 7 + 8 + 9
+    assert q.min(TPerson.age) == 5
+    assert q.max(TPerson.age) == 9
+    assert float(q.avg(TPerson.age)) == 7.0
+
+
+def test_query_scalar_terminals_empty(manager):
+    persons = Collection(TPerson, manager=manager)
+    q = persons.query().where(TPerson.age > 100)
+    assert q.sum(TPerson.age) == 0
+    assert q.min(TPerson.age) is None
+    assert q.avg(TPerson.age) is None

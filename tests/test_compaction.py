@@ -1,0 +1,208 @@
+"""Compaction protocol (paper section 5)."""
+
+import threading
+import time
+
+import pytest
+
+from repro.core.collection import Collection
+from repro.core.compaction import Compactor, DONE, FAILED, PENDING
+from repro.errors import ConcurrencyProtocolError, NullReferenceError
+from repro.memory.manager import MemoryManager
+
+from tests.schemas import TPerson
+
+
+def _make_worn_collection(block_shift=10, live_per_block=3, blocks=6):
+    """A collection with several under-occupied blocks."""
+    m = MemoryManager(block_shift=block_shift, reclamation_threshold=0.99)
+    persons = Collection(TPerson, manager=m)
+    handles = []
+    while persons.context.block_count() < blocks + 1:
+        handles.append(persons.add(name=f"p{len(handles)}", age=len(handles)))
+    # Thin out every block except a few survivors.
+    survivors = []
+    per_block = {}
+    for h in handles:
+        blk = m.space.block_at(h.ref.address())
+        kept = per_block.setdefault(blk.block_id, [])
+        if len(kept) < live_per_block:
+            kept.append(h)
+            survivors.append(h)
+        else:
+            persons.remove(h)
+    return m, persons, survivors
+
+
+def test_compaction_reduces_block_count():
+    m, persons, survivors = _make_worn_collection()
+    before_blocks = persons.context.block_count()
+    before = sorted((h.name, h.age) for h in survivors)
+    moved = persons.compact(occupancy_threshold=0.5)
+    assert moved > 0
+    assert persons.context.block_count() < before_blocks
+    assert m.stats.compactions == 1
+    # Every survivor stays reachable through its old handle.
+    after = sorted((h.name, h.age) for h in survivors)
+    assert after == before
+    m.close()
+
+
+def test_compaction_preserves_enumeration():
+    m, persons, survivors = _make_worn_collection()
+    persons.compact(occupancy_threshold=0.5)
+    assert sorted(h.age for h in persons) == sorted(h.age for h in survivors)
+    assert len(persons) == len(survivors)
+    m.close()
+
+
+def test_compaction_noop_when_occupancy_high():
+    m = MemoryManager()
+    persons = Collection(TPerson, manager=m)
+    for i in range(10):
+        persons.add(name=f"p{i}", age=i)
+    assert persons.compact(occupancy_threshold=0.0) == 0
+    m.close()
+
+
+def test_compaction_emptied_blocks_returned_to_pool():
+    m, persons, survivors = _make_worn_collection()
+    persons.compact(occupancy_threshold=0.5)
+    compactor = Compactor(m)
+    # Retired blocks become releasable two epochs later.
+    m.advance_epoch()
+    m.advance_epoch()
+    compactor.detach()
+    assert m.stats.blocks_pooled >= 0  # pool path exercised on next acquire
+
+
+def test_epoch_advances_through_cycle():
+    m, persons, __ = _make_worn_collection()
+    e = m.epochs.global_epoch
+    persons.compact(occupancy_threshold=0.5)
+    # freezing (e+1), relocation (e+2), exit (e+3)
+    assert m.epochs.global_epoch >= e + 3
+    assert m.next_relocation_epoch is None
+    assert not m.in_moving_phase
+    m.close()
+
+
+def test_compaction_with_references_from_other_collection():
+    from tests.schemas import TOrder
+
+    m = MemoryManager(block_shift=10)
+    persons = Collection(TPerson, manager=m)
+    orders = Collection(TOrder, manager=m)
+    handles = []
+    while persons.context.block_count() < 4:
+        handles.append(persons.add(name=f"p{len(handles)}", age=len(handles)))
+    keep = handles[:: len(handles) // 8 or 1]
+    order_handles = [
+        orders.add(orderkey=i, owner=h) for i, h in enumerate(keep)
+    ]
+    for h in handles:
+        if h not in keep:
+            persons.remove(h)
+    persons.compact(occupancy_threshold=0.9)
+    # Indirection keeps references valid across relocation (section 5.1).
+    for i, o in enumerate(order_handles):
+        assert o.owner.name == keep[i].name
+    m.close()
+
+
+def test_removed_objects_stay_null_after_compaction():
+    m, persons, survivors = _make_worn_collection()
+    victim = survivors[0]
+    persons.remove(victim)
+    persons.compact(occupancy_threshold=0.5)
+    with pytest.raises(NullReferenceError):
+        __ = victim.name
+    m.close()
+
+
+def test_two_compactions_in_sequence():
+    m, persons, survivors = _make_worn_collection(blocks=8)
+    persons.compact(occupancy_threshold=0.5)
+    for h in list(persons)[::2]:
+        persons.remove(h)
+    moved = persons.compact(occupancy_threshold=0.9)
+    assert len(persons) > 0
+    assert sorted(h.age for h in persons) == sorted(
+        h.age for h in survivors if h.is_alive
+    )
+    m.close()
+
+
+def test_only_one_compactor_per_manager():
+    m = MemoryManager()
+    c = Compactor(m)
+    with pytest.raises(ConcurrencyProtocolError):
+        Compactor(m)
+    c.detach()
+    c2 = Compactor(m)
+    c2.detach()
+    m.close()
+
+
+def test_reader_in_critical_section_bails_relocation():
+    """A reader holding the group's pre-state pins it; the compactor
+    times out and fails the group rather than move under the reader."""
+    m, persons, survivors = _make_worn_collection(blocks=4)
+    compactor = Compactor(m)
+    groups = compactor._plan_groups(persons.context, 0.5)
+    assert groups
+    group = groups[0]
+    assert group.try_pin_prestate()
+    try:
+        # Compactor must give up on this group after its timeout.
+        import repro.core.compaction as comp
+
+        old = comp._READER_WAIT_TIMEOUT
+        comp._READER_WAIT_TIMEOUT = 0.05
+        try:
+            moved = compactor._run_cycle(persons.context, groups)
+        finally:
+            comp._READER_WAIT_TIMEOUT = old
+    finally:
+        group.unpin_prestate()
+        compactor.detach()
+    assert group.failed
+    # Data remains intact and reachable.
+    assert sorted(h.age for h in persons) == sorted(h.age for h in survivors)
+    m.close()
+
+
+def test_concurrent_readers_during_compaction():
+    """Readers hammer handles while a compaction cycle runs."""
+    m, persons, survivors = _make_worn_collection(blocks=8)
+    expected = sorted(h.age for h in survivors)
+    errors = []
+    stop = threading.Event()
+
+    def reader():
+        while not stop.is_set():
+            try:
+                with m.critical_section():
+                    ages = sorted(h.age for h in survivors)
+                if ages != expected:
+                    errors.append(ages)
+            except NullReferenceError as exc:  # pragma: no cover
+                errors.append(exc)
+
+    threads = [threading.Thread(target=reader) for __ in range(3)]
+    for t in threads:
+        t.start()
+    time.sleep(0.02)
+    moved = persons.compact(occupancy_threshold=0.5)
+    time.sleep(0.05)
+    stop.set()
+    for t in threads:
+        t.join()
+    assert not errors
+    assert moved >= 0
+    assert sorted(h.age for h in persons) == expected
+    m.close()
+
+
+def test_relocation_item_states():
+    assert PENDING != FAILED != DONE

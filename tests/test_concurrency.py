@@ -1,0 +1,241 @@
+"""Concurrent adds, removes, queries and compaction.
+
+The paper's thread-safety story (sections 3.4, 4): concurrent removals
+may run against blocks other threads allocate into; queries enumerate
+inside critical sections and see a consistent bag; freed slots are only
+recycled two epochs later, so readers never observe torn objects — they
+observe either the object (matching incarnation) or null.
+"""
+
+import random
+import threading
+import time
+
+import pytest
+
+from repro.core.collection import Collection
+from repro.errors import NullReferenceError
+from repro.memory.manager import MemoryManager
+from repro.query.builder import Count, Sum
+from repro.query.expressions import param
+
+from tests.schemas import TPerson
+
+
+def test_concurrent_allocations_from_multiple_threads():
+    m = MemoryManager()
+    persons = Collection(TPerson, manager=m)
+    n_threads, per_thread = 4, 500
+    barrier = threading.Barrier(n_threads)
+
+    def worker(tid):
+        barrier.wait()
+        for i in range(per_thread):
+            persons.add(name=f"t{tid}", age=i)
+
+    threads = [threading.Thread(target=worker, args=(t,)) for t in range(n_threads)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert len(persons) == n_threads * per_thread
+    assert len(list(persons)) == n_threads * per_thread
+    m.close()
+
+
+def test_concurrent_add_remove_churn():
+    m = MemoryManager(block_shift=12)
+    persons = Collection(TPerson, manager=m)
+    seed = [persons.add(name=f"s{i}", age=i) for i in range(500)]
+    errors = []
+
+    def adder():
+        try:
+            for i in range(1000):
+                persons.add(name=f"a{i}", age=i)
+        except Exception as exc:  # pragma: no cover
+            errors.append(exc)
+
+    def remover():
+        try:
+            for h in seed:
+                persons.remove(h)
+        except Exception as exc:  # pragma: no cover
+            errors.append(exc)
+
+    threads = [threading.Thread(target=adder), threading.Thread(target=remover)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
+    assert len(persons) == 1000
+    assert all(not h.is_alive for h in seed)
+    m.close()
+
+
+def test_readers_see_object_or_null_never_garbage():
+    """Readers racing with removal+reallocation must never read a value
+    that the victim object never had (type-safe reclamation)."""
+    m = MemoryManager(block_shift=10)
+    persons = Collection(TPerson, manager=m)
+    victims = [persons.add(name="victim", age=7) for __ in range(100)]
+    stop = threading.Event()
+    bad = []
+
+    def reader():
+        while not stop.is_set():
+            for h in victims:
+                try:
+                    with m.critical_section():
+                        age = h.age
+                        name = h.name
+                    if age != 7 or name != "victim":
+                        bad.append((name, age))
+                except NullReferenceError:
+                    pass
+
+    def churner():
+        rnd = random.Random(1)
+        for h in victims:
+            persons.remove(h)
+            # Recycle aggressively with differently-valued objects.
+            for i in range(20):
+                persons.add(name="fresh", age=rnd.randrange(100, 200))
+
+    readers = [threading.Thread(target=reader) for __ in range(2)]
+    for t in readers:
+        t.start()
+    churner()
+    time.sleep(0.05)
+    stop.set()
+    for t in readers:
+        t.join()
+    assert not bad
+    m.close()
+
+
+def test_queries_during_mutation_return_consistent_counts():
+    m = MemoryManager()
+    persons = Collection(TPerson, manager=m)
+    for i in range(2000):
+        persons.add(name="base", age=50)
+    results = []
+    stop = threading.Event()
+
+    def querier():
+        q = (
+            persons.query()
+            .where(TPerson.age == param("a"))
+            .aggregate(n=Count())
+        )
+        while not stop.is_set():
+            results.append(q.run(a=50).rows[0][0])
+
+    def mutator():
+        for i in range(300):
+            h = persons.add(name="extra", age=10)
+            persons.remove(h)
+
+    qt = threading.Thread(target=querier)
+    mt = threading.Thread(target=mutator)
+    qt.start()
+    mt.start()
+    mt.join()
+    stop.set()
+    qt.join()
+    # The age==50 population never changes; every query sees all of it.
+    assert results
+    assert set(results) == {2000}
+    m.close()
+
+
+def test_compaction_concurrent_with_queries_and_inserts():
+    m = MemoryManager(block_shift=10)
+    persons = Collection(TPerson, manager=m)
+    handles = []
+    while persons.context.block_count() < 6:
+        handles.append(persons.add(name=f"p{len(handles)}", age=1))
+    keep = handles[::5]
+    for h in handles:
+        if h not in keep:
+            persons.remove(h)
+    expected_base = len(keep)
+    stop = threading.Event()
+    errors = []
+    totals = []
+
+    def querier():
+        q = persons.query().where(TPerson.age == 1).aggregate(n=Count())
+        while not stop.is_set():
+            try:
+                totals.append(q.run().rows[0][0])
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+    qt = threading.Thread(target=querier)
+    qt.start()
+    time.sleep(0.01)
+    moved = persons.compact(occupancy_threshold=0.9)
+    time.sleep(0.02)
+    stop.set()
+    qt.join()
+    assert not errors
+    # Every query observed exactly the stable population.
+    assert set(totals) == {expected_base}
+    assert len(persons) == expected_base
+    m.close()
+
+
+def test_epoch_advances_under_concurrent_load():
+    m = MemoryManager(block_shift=10, reclamation_threshold=0.01)
+    persons = Collection(TPerson, manager=m)
+
+    def churn():
+        local = [persons.add(name="c", age=i) for i in range(300)]
+        for h in local:
+            persons.remove(h)
+        for i in range(300):
+            persons.add(name="c2", age=i)
+
+    threads = [threading.Thread(target=churn) for __ in range(3)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert m.epochs.global_epoch > 0
+    assert m.stats.limbo_reuses + m.stats.blocks_recycled > 0
+    m.close()
+
+
+def test_enumeration_never_sees_unpublished_objects():
+    """Regression: slots become VALID only after the object is fully
+    constructed (back-pointer + fields written), so a concurrent
+    enumerator can never build a handle with a dangling entry."""
+    m = MemoryManager()
+    persons = Collection(TPerson, manager=m)
+    for i in range(200):
+        persons.add(name="seed", age=1)
+    stop = threading.Event()
+    errors = []
+
+    def enumerator():
+        while not stop.is_set():
+            try:
+                for h in persons:
+                    name = h.name
+                    if name not in ("seed", "new"):
+                        errors.append(name)
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+    threads = [threading.Thread(target=enumerator) for __ in range(2)]
+    for t in threads:
+        t.start()
+    for i in range(3000):
+        persons.add(name="new", age=2)
+    stop.set()
+    for t in threads:
+        t.join()
+    assert not errors
+    m.close()

@@ -1,0 +1,149 @@
+"""Memory contexts, reclamation queue, thread-local allocation blocks."""
+
+import threading
+
+import pytest
+
+from repro.memory.allocator import ReclamationQueue, ThreadLocalBlocks
+from repro.memory.manager import MemoryManager
+
+
+class _FakeBlock:
+    def __init__(self):
+        self.queued_for_reclaim = False
+        self.reclaim_ready_epoch = -1
+
+
+def test_queue_push_pop_ready():
+    q = ReclamationQueue()
+    blk = _FakeBlock()
+    q.push(blk, ready_epoch=5)
+    assert len(q) == 1
+    assert q.pop_ready(global_epoch=4) is None
+    assert q.pop_ready(global_epoch=5) is blk
+    assert not blk.queued_for_reclaim
+
+
+def test_queue_push_is_idempotent():
+    q = ReclamationQueue()
+    blk = _FakeBlock()
+    q.push(blk, 1)
+    q.push(blk, 2)
+    assert len(q) == 1
+
+
+def test_queue_blocked_head():
+    q = ReclamationQueue()
+    blk = _FakeBlock()
+    assert not q.has_blocked_head(0)
+    q.push(blk, ready_epoch=10)
+    assert q.has_blocked_head(9)
+    assert not q.has_blocked_head(10)
+
+
+def test_queue_drain():
+    q = ReclamationQueue()
+    blocks = [_FakeBlock() for __ in range(3)]
+    for b in blocks:
+        q.push(b, 0)
+    drained = q.drain()
+    assert len(drained) == 3
+    assert len(q) == 0
+    assert not any(b.queued_for_reclaim for b in blocks)
+
+
+def test_thread_local_blocks_per_thread():
+    tl = ThreadLocalBlocks()
+    tl.set("main-block")
+    seen = {}
+
+    def worker():
+        seen["before"] = tl.get()
+        tl.set("worker-block")
+        seen["after"] = tl.get()
+
+    t = threading.Thread(target=worker)
+    t.start()
+    t.join()
+    assert seen["before"] is None
+    assert seen["after"] == "worker-block"
+    assert tl.get() == "main-block"
+    assert set(tl.values()) == {"main-block", "worker-block"}
+
+
+def test_context_blocks_snapshot(manager):
+    ctx = manager.create_context(slot_size=48, type_name="T")
+    assert ctx.blocks() == []
+    manager.allocate_object(ctx)
+    snap = ctx.blocks()
+    assert len(snap) == 1
+    snap.clear()  # mutating the snapshot must not affect the context
+    assert ctx.block_count() == 1
+
+
+def test_allocation_spans_blocks():
+    m = MemoryManager(block_shift=10)
+    ctx = m.create_context(slot_size=64, type_name="T")
+    n = 0
+    while ctx.block_count() < 3:
+        m.allocate_object(ctx)
+        n += 1
+    assert n > 10
+    assert ctx.live_count == n
+    m.close()
+
+
+def test_iter_valid_in_memory_order():
+    m = MemoryManager(block_shift=10)
+    ctx = m.create_context(slot_size=64, type_name="T")
+    pairs = [m.allocate_object(ctx)[:2] for __ in range(40)]
+    seen = list(ctx.iter_valid())
+    assert seen == [(b, s) for b, s in pairs]
+    m.close()
+
+
+def test_free_slot_queues_block_past_threshold():
+    m = MemoryManager(block_shift=10, reclamation_threshold=0.1)
+    ctx = m.create_context(slot_size=64, type_name="T")
+    refs = []
+    # Fill two blocks so the first is no longer the active alloc block.
+    while ctx.block_count() < 2:
+        refs.append(m.allocate_object(ctx)[2])
+    first_block = ctx.blocks()[0]
+    victims = [r for r in refs if m.space.block_at(r.address()) is first_block]
+    for r in victims:
+        m.free_object(r)
+    assert first_block.queued_for_reclaim
+    assert ctx.reclaim_queue_length == 1
+    m.close()
+
+
+def test_compactable_blocks_excludes_active(manager):
+    ctx = manager.create_context(slot_size=48, type_name="T")
+    manager.allocate_object(ctx)
+    # The only block is the calling thread's active block.
+    assert ctx.compactable_blocks(occupancy_threshold=1.1) == []
+
+
+def test_total_bytes(manager):
+    ctx = manager.create_context(slot_size=48, type_name="T")
+    manager.allocate_object(ctx)
+    assert ctx.total_bytes() == manager.space.block_size
+
+
+def test_per_thread_allocation_blocks_are_private():
+    m = MemoryManager()
+    ctx = m.create_context(slot_size=48, type_name="T")
+    m.allocate_object(ctx)
+    blocks = {}
+
+    def worker():
+        blk, __, __ = m.allocate_object(ctx)
+        blocks["worker"] = blk
+
+    t = threading.Thread(target=worker)
+    t.start()
+    t.join()
+    main_block = ctx.blocks()[0]
+    assert blocks["worker"] is not main_block
+    m.close()

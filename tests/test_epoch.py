@@ -1,0 +1,156 @@
+"""Epoch-based reclamation protocol."""
+
+import threading
+
+import pytest
+
+from repro.errors import ConcurrencyProtocolError
+from repro.memory.epoch import EpochManager
+
+
+@pytest.fixture
+def epochs():
+    return EpochManager()
+
+
+def test_initial_epoch_zero(epochs):
+    assert epochs.global_epoch == 0
+
+
+def test_enter_sets_local_epoch(epochs):
+    epochs.try_advance()
+    assert epochs.enter_critical_section() == 1
+    assert epochs.local_epoch() == 1
+    epochs.exit_critical_section()
+
+
+def test_exit_without_enter_raises(epochs):
+    with pytest.raises(ConcurrencyProtocolError):
+        epochs.exit_critical_section()
+
+
+def test_nested_sections_keep_outer_epoch(epochs):
+    epochs.enter_critical_section()
+    epochs.try_advance()  # self is skipped, advance succeeds
+    inner = epochs.enter_critical_section()
+    assert inner == 0  # nested enter must not refresh the epoch
+    epochs.exit_critical_section()
+    epochs.exit_critical_section()
+    assert not epochs.in_critical()
+
+
+def test_context_manager(epochs):
+    with epochs.critical_section() as e:
+        assert e == 0
+        assert epochs.in_critical()
+    assert not epochs.in_critical()
+
+
+def test_advance_blocked_by_lagging_thread(epochs):
+    entered = threading.Event()
+    release = threading.Event()
+
+    def lagger():
+        epochs.enter_critical_section()
+        entered.set()
+        release.wait()
+        epochs.exit_critical_section()
+
+    t = threading.Thread(target=lagger)
+    t.start()
+    entered.wait()
+    assert epochs.try_advance()  # lagger is at 0 == global 0 -> advance to 1
+    assert not epochs.try_advance()  # lagger still at 0 < 1 -> blocked
+    release.set()
+    t.join()
+    assert epochs.try_advance()  # lagger gone
+
+
+def test_own_critical_section_does_not_block_self(epochs):
+    epochs.enter_critical_section()
+    assert epochs.try_advance()
+    epochs.exit_critical_section()
+
+
+def test_restricted_advancement(epochs):
+    me = threading.get_ident()
+    epochs.restrict_advancement(me + 1)  # some other thread
+    assert not epochs.try_advance()
+    epochs.restrict_advancement(None)
+    assert epochs.try_advance()
+
+
+def test_double_restriction_rejected(epochs):
+    epochs.restrict_advancement(1)
+    with pytest.raises(ConcurrencyProtocolError):
+        epochs.restrict_advancement(2)
+
+
+def test_others_at_least(epochs):
+    assert epochs.others_at_least(5)  # nobody else in critical
+    entered = threading.Event()
+    release = threading.Event()
+
+    def other():
+        epochs.enter_critical_section()  # local epoch 0
+        entered.set()
+        release.wait()
+        epochs.exit_critical_section()
+
+    t = threading.Thread(target=other)
+    t.start()
+    entered.wait()
+    assert epochs.others_at_least(0)
+    assert not epochs.others_at_least(1)
+    release.set()
+    t.join()
+
+
+def test_min_active_epoch(epochs):
+    assert epochs.min_active_epoch() == 0
+    epochs.enter_critical_section()
+    epochs.try_advance()
+    epochs.try_advance()
+    assert epochs.global_epoch == 2
+    assert epochs.min_active_epoch() == 0  # we entered at 0
+    epochs.exit_critical_section()
+    assert epochs.min_active_epoch() == 2
+
+
+def test_forget_dead_threads(epochs):
+    def toucher():
+        epochs.enter_critical_section()
+        epochs.exit_critical_section()
+
+    t = threading.Thread(target=toucher)
+    t.start()
+    t.join()
+    assert epochs.forget_dead_threads() >= 1
+
+
+def test_epochs_monotonic_under_concurrent_advancers(epochs):
+    stop = threading.Event()
+    seen = []
+
+    def advancer():
+        while not stop.is_set():
+            epochs.try_advance()
+
+    def watcher():
+        last = -1
+        while not stop.is_set():
+            g = epochs.global_epoch
+            seen.append(g >= last)
+            last = g
+
+    threads = [threading.Thread(target=advancer) for __ in range(3)]
+    threads.append(threading.Thread(target=watcher))
+    for t in threads:
+        t.start()
+    import time
+
+    time.sleep(0.1)
+    stop.set()
+    for t in threads:
+        t.join()
+    assert all(seen)

@@ -1,0 +1,61 @@
+"""Smoke tests: every shipped example runs to completion."""
+
+import runpy
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(name: str, extra_env=None) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+def test_quickstart_runs():
+    out = _run("quickstart.py")
+    assert "NullReferenceError" in out
+    assert "rich persons" in out
+
+
+def test_compaction_demo_runs():
+    out = _run("compaction_demo.py")
+    assert "compaction relocated" in out
+    assert "direct pointers" in out
+    assert "references OK" in out
+
+
+def test_columnar_analytics_runs():
+    out = _run("columnar_analytics.py")
+    assert "columnar layout" in out
+    assert "volume leaders" in out
+
+
+@pytest.mark.slow
+def test_business_intelligence_runs():
+    out = _run("business_intelligence.py")
+    assert "Q1 pricing summary" in out
+    assert "gc.collect()" in out
+
+
+@pytest.mark.slow
+def test_refresh_pipeline_runs():
+    out = _run("refresh_pipeline.py")
+    assert "aggregation queries" in out
+    assert "final population" in out
+
+
+def test_data_lifecycle_runs():
+    out = _run("data_lifecycle.py")
+    assert "auto-compaction ran 1x" in out or "auto-compaction ran" in out
+    assert "repair scan" in out
+    assert "MemoryManager" in out

@@ -1,0 +1,160 @@
+"""Expression trees: construction, evaluation, signatures."""
+
+import datetime
+from decimal import Decimal
+
+import pytest
+
+from repro.query.expressions import (
+    Between,
+    BinOp,
+    BoolOp,
+    Cmp,
+    Const,
+    Expr,
+    FieldRef,
+    InSet,
+    Not,
+    Param,
+    RefIdentity,
+    param,
+    ref_identity,
+)
+
+from tests.schemas import TOrder, TPerson
+
+
+class Row:
+    def __init__(self, **kw):
+        self.__dict__.update(kw)
+
+
+def test_field_comparison_builds_cmp():
+    expr = TPerson.age > 17
+    assert isinstance(expr, Cmp)
+    assert expr.op == ">"
+    assert isinstance(expr.left, FieldRef)
+    assert isinstance(expr.right, Const)
+
+
+def test_arithmetic_builds_binop():
+    expr = TPerson.balance * (1 - TPerson.balance)
+    assert isinstance(expr, BinOp)
+    assert expr.op == "*"
+    assert isinstance(expr.right, BinOp)
+
+
+def test_evaluate_simple_predicate():
+    pred = TPerson.age > 17
+    assert pred.evaluate(Row(age=20), {}) is True
+    assert pred.evaluate(Row(age=10), {}) is False
+
+
+def test_evaluate_arithmetic():
+    expr = TPerson.balance * 2 + 1
+    assert expr.evaluate(Row(balance=10), {}) == 21
+
+
+def test_reverse_operators():
+    expr = 1 - TPerson.age
+    assert expr.evaluate(Row(age=3), {}) == -2
+    expr2 = 10 / TPerson.age
+    assert expr2.evaluate(Row(age=5), {}) == 2
+
+
+def test_param_binding():
+    pred = TPerson.age >= param("cutoff")
+    assert pred.evaluate(Row(age=30), {"cutoff": 18}) is True
+    assert pred.evaluate(Row(age=10), {"cutoff": 18}) is False
+
+
+def test_boolop_flattening():
+    e = (TPerson.age > 1) & (TPerson.age > 2) & (TPerson.age > 3)
+    assert isinstance(e, BoolOp)
+    assert len(e.parts) == 3
+
+
+def test_boolop_or_and_not():
+    e = (TPerson.age < 5) | (TPerson.age > 10)
+    assert e.evaluate(Row(age=3), {}) is True
+    assert e.evaluate(Row(age=7), {}) is False
+    assert (~e).evaluate(Row(age=7), {}) is True
+
+
+def test_isin():
+    e = TPerson.name.isin(["a", "b"])
+    assert isinstance(e, InSet)
+    assert e.evaluate(Row(name="a"), {}) is True
+    assert e.evaluate(Row(name="z"), {}) is False
+
+
+def test_between():
+    e = TPerson.age.between(10, 20)
+    assert isinstance(e, Between)
+    assert e.evaluate(Row(age=10), {}) is True
+    assert e.evaluate(Row(age=20), {}) is True
+    assert e.evaluate(Row(age=21), {}) is False
+
+
+def test_string_predicates():
+    assert TPerson.name.startswith("Ad").evaluate(Row(name="Adam"), {})
+    assert not TPerson.name.startswith("Ad").evaluate(Row(name="Eve"), {})
+    assert TPerson.name.contains("da").evaluate(Row(name="Adam"), {})
+
+
+def test_navigation_evaluation():
+    e = TOrder.owner.ref("age") + 1
+    order = Row(owner=Row(age=41))
+    assert e.evaluate(order, {}) == 42
+
+
+def test_navigation_through_null_gives_none():
+    e = TOrder.owner.ref("age")
+    assert e.evaluate(Row(owner=None), {}) is None
+
+
+def test_navigation_requires_ref_field():
+    with pytest.raises(TypeError):
+        TPerson.age.ref("anything")
+
+
+def test_navigation_unknown_target_field():
+    with pytest.raises(AttributeError):
+        TOrder.owner.ref("bogus")
+
+
+def test_ref_identity_evaluation():
+    e = ref_identity(TOrder.owner._expr() if hasattr(TOrder.owner, "_expr") else TOrder.owner)
+    target = Row(age=1)
+    assert e.evaluate(Row(owner=target), {}) is target
+
+
+def test_ref_identity_requires_ref():
+    with pytest.raises(TypeError):
+        ref_identity(TPerson.age._expr())
+
+
+def test_signatures_stable_and_distinct():
+    a = (TPerson.age > 17).signature()
+    b = (TPerson.age > 17).signature()
+    c = (TPerson.age > 18).signature()
+    d = (TPerson.age >= 17).signature()
+    assert a == b
+    assert a != c and a != d
+
+
+def test_signature_includes_navigation_path():
+    sig = TOrder.owner.ref("age").signature()
+    assert "owner" in sig and "age" in sig
+
+
+def test_param_signature_ignores_value():
+    s1 = (TPerson.age > param("x")).signature()
+    assert "param(x)" in s1
+
+
+def test_const_wrap():
+    e = Expr.wrap(5)
+    assert isinstance(e, Const)
+    assert Expr.wrap(e) is e
+    assert isinstance(Expr.wrap(TPerson.age), FieldRef)

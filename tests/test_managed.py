@@ -1,0 +1,142 @@
+"""Managed baseline collections."""
+
+import threading
+
+import pytest
+
+from repro.managed import ManagedBag, ManagedDictionary, ManagedList
+
+from tests.schemas import TPerson
+
+
+def test_list_add_and_iterate():
+    ml = ManagedList(TPerson)
+    ml.add(name="a", age=1)
+    ml.add(name="b", age=2)
+    assert [r.age for r in ml] == [1, 2]
+    assert len(ml) == 2
+
+
+def test_list_accepts_prebuilt_record():
+    ml = ManagedList(TPerson)
+    rec = ml.new_record(name="x", age=9)
+    assert ml.add(rec) is rec
+    assert len(ml) == 1
+
+
+def test_list_remove_specific():
+    ml = ManagedList(TPerson)
+    a = ml.add(name="a", age=1)
+    b = ml.add(name="b", age=2)
+    ml.remove(a)
+    assert list(ml) == [b]
+
+
+def test_list_remove_where():
+    ml = ManagedList(TPerson)
+    for i in range(10):
+        ml.add(name=f"p{i}", age=i)
+    removed = ml.remove_where(lambda r: r.age % 2 == 0)
+    assert removed == 5
+    assert all(r.age % 2 == 1 for r in ml)
+
+
+def test_list_clear():
+    ml = ManagedList(TPerson)
+    ml.add(name="a", age=1)
+    ml.clear()
+    assert len(ml) == 0
+
+
+def test_bag_has_no_targeted_removal():
+    bag = ManagedBag(TPerson)
+    bag.add(name="a", age=1)
+    assert not hasattr(bag, "remove")
+
+
+def test_bag_try_take():
+    bag = ManagedBag(TPerson)
+    assert bag.try_take() is None
+    rec = bag.add(name="a", age=1)
+    assert bag.try_take() is rec
+    assert len(bag) == 0
+
+
+def test_bag_thread_safe_adds():
+    bag = ManagedBag(TPerson)
+
+    def worker():
+        for i in range(500):
+            bag.add(name="w", age=i)
+
+    threads = [threading.Thread(target=worker) for __ in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert len(bag) == 2000
+
+
+def test_dictionary_keyed_by_attribute():
+    md = ManagedDictionary(TPerson, key="age")
+    md.add(name="a", age=10)
+    assert md.get(10).name == "a"
+    assert md.remove(10)
+    assert not md.remove(10)
+    assert md.get(10) is None
+
+
+def test_dictionary_explicit_key():
+    md = ManagedDictionary(TPerson)
+    rec = md.new_record(name="a", age=1)
+    md.add(rec, key="custom")
+    assert md.get("custom") is rec
+
+
+def test_dictionary_sequence_key_fallback():
+    md = ManagedDictionary(TPerson)
+    md.add(name="a", age=1)
+    md.add(name="b", age=2)
+    assert len(md) == 2
+    assert len(md.keys()) == 2
+
+
+def test_dictionary_thread_safe_churn():
+    md = ManagedDictionary(TPerson, key="age")
+    errors = []
+
+    def adder(base):
+        for i in range(300):
+            md.add(name="x", age=base + i)
+
+    def remover(base):
+        for i in range(300):
+            md.remove(base + i)
+
+    threads = [
+        threading.Thread(target=adder, args=(0,)),
+        threading.Thread(target=adder, args=(1000,)),
+        threading.Thread(target=remover, args=(0,)),
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
+    assert len(md) >= 300  # the 1000-base records are untouched
+
+
+def test_query_surface_on_managed_collections():
+    from repro.query.builder import Count
+
+    for coll in (ManagedList(TPerson), ManagedBag(TPerson), ManagedDictionary(TPerson)):
+        for i in range(10):
+            coll.add(name="x", age=i)
+        n = (
+            coll.query()
+            .where(TPerson.age >= 5)
+            .aggregate(n=Count())
+            .run()
+            .rows[0][0]
+        )
+        assert n == 5, type(coll).__name__

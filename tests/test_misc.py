@@ -1,0 +1,74 @@
+"""Small-surface coverage: errors, results, handles, default manager."""
+
+import pytest
+
+from repro import default_manager, reset_default_manager
+from repro.core.collection import Collection
+from repro.errors import (
+    ConcurrencyProtocolError,
+    IncarnationOverflowError,
+    MemoryExhaustedError,
+    NullReferenceError,
+    SmcError,
+    TabularTypeError,
+)
+from repro.query.builder import Result
+
+from tests.schemas import TOrder, TPerson
+
+
+def test_error_hierarchy():
+    assert issubclass(NullReferenceError, SmcError)
+    assert issubclass(TabularTypeError, SmcError)
+    assert issubclass(TabularTypeError, TypeError)
+    assert issubclass(MemoryExhaustedError, MemoryError)
+    assert issubclass(IncarnationOverflowError, SmcError)
+    assert issubclass(ConcurrencyProtocolError, SmcError)
+
+
+def test_result_container():
+    r = Result(["a", "b"], [(1, "x"), (2, "y")])
+    assert len(r) == 2
+    assert list(r) == [(1, "x"), (2, "y")]
+    assert r[0] == (1, "x")
+    assert r.column("b") == ["x", "y"]
+    assert r.to_dicts() == [{"a": 1, "b": "x"}, {"a": 2, "b": "y"}]
+
+
+def test_handle_as_dict(manager):
+    persons = Collection(TPerson, manager=manager)
+    orders = Collection(TOrder, manager=manager)
+    p = persons.add(name="Ada", age=36)
+    o = orders.add(orderkey=1, owner=p)
+    d = o.as_dict()
+    assert d["orderkey"] == 1
+    assert d["owner"].name == "Ada"
+    assert set(d) == {f.name for f in TOrder.__fields__}
+
+
+def test_handle_repr_states(manager):
+    persons = Collection(TPerson, manager=manager)
+    h = persons.add(name="Ada", age=36)
+    assert "Ada" in repr(h)
+    persons.remove(h)
+    assert "null" in repr(h)
+
+
+def test_default_manager_shared_and_resettable():
+    reset_default_manager()
+    a = default_manager()
+    assert default_manager() is a
+    coll = Collection(TPerson)  # implicit default manager
+    assert coll.manager is a
+    coll.add(name="x", age=1)
+    reset_default_manager()
+    b = default_manager()
+    assert b is not a
+    reset_default_manager()
+
+
+def test_collection_repr(manager):
+    persons = Collection(TPerson, manager=manager)
+    persons.add(name="x", age=1)
+    text = repr(persons)
+    assert "TPerson" in text and "1 objects" in text

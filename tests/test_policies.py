@@ -1,0 +1,57 @@
+"""Auto-compaction policy and memory-system introspection."""
+
+import pytest
+
+from repro.core.collection import Collection
+from repro.memory.manager import MemoryManager
+
+from tests.schemas import TPerson
+
+
+def test_auto_compact_threshold_validation(manager):
+    with pytest.raises(ValueError):
+        Collection(TPerson, manager=manager, auto_compact_occupancy=1.5)
+
+
+def test_auto_compaction_triggers_on_shrinkage():
+    m = MemoryManager(block_shift=10)
+    persons = Collection(
+        TPerson, manager=m, auto_compact_occupancy=0.4, name="auto"
+    )
+    handles = []
+    while persons.context.block_count() < 8:
+        handles.append(persons.add(name=f"p{len(handles)}", age=len(handles)))
+    blocks_before = persons.context.block_count()
+    keep = set(handles[::10])
+    for h in handles:
+        if h not in keep:
+            persons.remove(h)
+    assert m.stats.compactions >= 1
+    assert persons.context.block_count() < blocks_before
+    assert sorted(h.age for h in persons) == sorted(h.age for h in keep)
+    m.close()
+
+
+def test_no_auto_compaction_by_default():
+    m = MemoryManager(block_shift=10)
+    persons = Collection(TPerson, manager=m)
+    handles = []
+    while persons.context.block_count() < 6:
+        handles.append(persons.add(name="x", age=1))
+    for h in handles[: len(handles) * 9 // 10]:
+        persons.remove(h)
+    assert m.stats.compactions == 0
+    m.close()
+
+
+def test_describe_reports_contexts(manager):
+    persons = Collection(TPerson, manager=manager, name="people")
+    for i in range(10):
+        persons.add(name=f"p{i}", age=i)
+    persons.remove(next(iter(persons)))
+    text = manager.describe()
+    assert "MemoryManager" in text
+    assert "TPerson" in text or "people" in text
+    assert "9 live" in text
+    assert "indirection table" in text
+    assert "string heap" in text

@@ -1,0 +1,147 @@
+"""Column-store comparator: tables, indexes, operators."""
+
+import datetime
+from decimal import Decimal
+
+import numpy as np
+import pytest
+
+from repro.rdbms import engine as E
+from repro.rdbms.table import ColumnTable
+
+
+@pytest.fixture
+def table():
+    rows = [
+        {"k": i, "price": Decimal(i) / 2, "day": datetime.date(2000, 1, 1 + i), "tag": f"t{i % 3}"}
+        for i in range(10)
+    ]
+    return ColumnTable.from_rows("t", rows, ["k", "price", "day", "tag"])
+
+
+def test_encoding_kinds(table):
+    assert table.columns["k"].dtype == np.int64
+    assert table.columns["price"].dtype == np.int64  # scaled decimal
+    assert table.columns["day"].dtype == np.int32
+    assert table.columns["tag"].dtype == np.int32  # dictionary codes
+    assert set(table.dictionaries["tag"]) == {"t0", "t1", "t2"}
+
+
+def test_encode_value(table):
+    assert table.encode_value("price", Decimal("1.50")) == 150
+    assert table.encode_value("day", datetime.date(2000, 1, 2)) == table.columns["day"][1]
+    assert table.encode_value("tag", "t1") == table.columns["tag"][1]
+    assert table.encode_value("tag", "missing") == -1
+
+
+def test_decode_value(table):
+    assert table.decode_value("tag", table.columns["tag"][0]) == "t0"
+    assert table.decode_value("price", 150, "decimal") == Decimal("1.50")
+    assert table.decode_value("day", 0, "date") == datetime.date(1970, 1, 1)
+
+
+def test_range_scan_without_index(table):
+    rows = table.range_scan("k", 3, 6)
+    assert sorted(table.column("k", rows).tolist()) == [3, 4, 5, 6]
+    rows = table.range_scan("k", 3, 6, lo_open=True, hi_open=True)
+    assert sorted(table.column("k", rows).tolist()) == [4, 5]
+
+
+def test_clustered_range_scan_matches_full_scan(table):
+    unindexed = set(table.range_scan("k", 2, 7).tolist())
+    table.create_clustered_index("k")
+    indexed = set(table.range_scan("k", 2, 7).tolist())
+    assert indexed == unindexed
+
+
+def test_range_scan_open_bounds_with_index(table):
+    table.create_clustered_index("k")
+    rows = table.range_scan("k", None, 4, hi_open=True)
+    assert sorted(table.column("k", rows).tolist()) == [0, 1, 2, 3]
+    rows = table.range_scan("k", 8, None)
+    assert sorted(table.column("k", rows).tolist()) == [8, 9]
+
+
+def test_string_codes_where(table):
+    codes = table.string_codes_where("tag", lambda t: t.endswith("2"))
+    assert [table.dictionaries["tag"][c] for c in codes] == ["t2"]
+
+
+def test_select_operator(table):
+    rows = E.select(table, None, "price", ">=", Decimal("2.00"))
+    assert all(int(v) >= 200 for v in table.column("price", rows))
+    narrowed = E.select(table, rows, "k", "<", 9)
+    assert set(narrowed.tolist()) < set(rows.tolist()) | {rows.tolist()[0]}
+
+
+def test_select_in_operator(table):
+    codes = table.string_codes_where("tag", lambda t: t == "t0")
+    rows = E.select_in(table, None, "tag", codes)
+    assert sorted(table.column("k", rows).tolist()) == [0, 3, 6, 9]
+
+
+def test_hash_join_unique():
+    built = E.build_hash_unique(np.array([1, 2, 3]), np.array([10, 20, 30]))
+    probe, build = E.probe_hash_unique(
+        np.array([2, 3, 4]), np.array([100, 101, 102]), built
+    )
+    assert probe.tolist() == [100, 101]
+    assert build.tolist() == [20, 30]
+
+
+def test_hash_join_duplicates():
+    built = E.build_hash(np.array([1, 1, 2]), np.array([10, 11, 20]))
+    assert built == {1: [10, 11], 2: [20]}
+
+
+def test_semi_join():
+    rows = E.semi_join(
+        np.array([1, 2, 3, 4]), np.array([0, 1, 2, 3]), {2, 4}
+    )
+    assert rows.tolist() == [1, 3]
+
+
+def test_group_aggregator_sum_count_avg():
+    agg = E.GroupAggregator([("s", "sum"), ("n", "count"), ("a", "avg")])
+    keys = [np.array([0, 0, 1])]
+    vals = np.array([10, 20, 30], dtype=np.int64)
+    agg.absorb(keys, [vals, None, vals])
+    agg.absorb(keys, [vals, None, vals])  # second batch merges
+    res = agg.results()
+    assert res[(0,)][0] == 60
+    assert res[(0,)][1] == 4
+    assert res[(0,)][2] == (60, 4)
+    assert res[(1,)][0] == 60
+
+
+def test_group_aggregator_min_max():
+    agg = E.GroupAggregator([("lo", "min"), ("hi", "max")])
+    keys = [np.array([0, 0, 1])]
+    vals = np.array([5, 2, 9], dtype=np.int64)
+    agg.absorb(keys, [vals, vals])
+    agg.absorb([np.array([0])], [np.array([1], dtype=np.int64)] * 2)
+    res = agg.results()
+    assert res[(0,)] == [1, 5]
+    assert res[(1,)] == [9, 9]
+
+
+def test_group_aggregator_no_keys():
+    agg = E.GroupAggregator([("n", "count")])
+    agg.absorb([], [None])
+    # zero-length batch is a no-op
+    res = agg.results()
+    assert res == {} or res == {(): [0]}
+
+
+def test_top_k_rows():
+    rows = [(1, "b"), (3, "a"), (2, "c")]
+    out = E.top_k_rows(list(rows), [(0, True)], 2)
+    assert out == [(3, "a"), (2, "c")]
+    out = E.top_k_rows(list(rows), [(1, False)], None)
+    assert [r[1] for r in out] == ["a", "b", "c"]
+
+
+def test_memory_bytes(table):
+    base = table.memory_bytes()
+    table.create_clustered_index("k")
+    assert table.memory_bytes() > base

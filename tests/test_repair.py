@@ -1,0 +1,110 @@
+"""Incarnation-overflow repair scan (paper section 3.1)."""
+
+import pytest
+
+from repro.core.collection import Collection
+from repro.core.columnar import ColumnarCollection
+from repro.core.repair import repair_in_thread, repair_references
+from repro.errors import NullReferenceError
+from repro.memory.indirection import INC_MASK
+from repro.memory.manager import MemoryManager
+
+from tests.schemas import TOrder, TPerson
+
+
+def _force_overflow_free(manager, collection, handle):
+    """Free *handle* with its entry's counter at the overflow boundary."""
+    entry = handle.ref.entry
+    manager.table._inc[entry] = INC_MASK - 1
+    # Refresh the handle's captured incarnation so the remove succeeds.
+    handle.ref.inc = INC_MASK - 1
+    collection.remove(handle)
+
+
+def test_overflow_retires_entry(manager):
+    persons = Collection(TPerson, manager=manager)
+    h = persons.add(name="x", age=1)
+    _force_overflow_free(manager, persons, h)
+    manager.advance_epoch()
+    manager.advance_epoch()
+    manager.allocate_object(persons.context)  # drains retirement queue
+    assert manager.table.retired_count == 1
+
+
+def test_repair_nulls_stale_references(manager):
+    persons = Collection(TPerson, manager=manager)
+    orders = Collection(TOrder, manager=manager)
+    keep = persons.add(name="keep", age=1)
+    victim = persons.add(name="victim", age=2)
+    o1 = orders.add(orderkey=1, owner=keep)
+    o2 = orders.add(orderkey=2, owner=victim)
+    persons.remove(victim)
+    with pytest.raises(NullReferenceError):
+        __ = o2.owner.name
+    stats = repair_references(manager)
+    assert stats["scanned"] == 2  # only rows with reference fields
+    assert stats["nulled"] == 1
+    # The stale reference now reads as a clean null...
+    assert o2.owner is None
+    # ...and the live one is untouched.
+    assert o1.owner.name == "keep"
+
+
+def test_repair_reclaims_retired_entries(manager):
+    persons = Collection(TPerson, manager=manager)
+    h = persons.add(name="x", age=1)
+    entry = h.ref.entry
+    _force_overflow_free(manager, persons, h)
+    manager.advance_epoch()
+    manager.advance_epoch()
+    manager.allocate_object(persons.context)
+    assert manager.table.retired_count == 1
+    stats = repair_references(manager)
+    assert stats["reclaimed"] == 1
+    assert manager.table.retired_count == 0
+    # The entry circulates again, counter reset.
+    assert manager.table.incarnation(entry) == 0
+
+
+def test_repair_columnar_collections(manager):
+    persons = ColumnarCollection(TPerson, manager=manager)
+    orders = ColumnarCollection(TOrder, manager=manager)
+    p = persons.add(name="gone", age=1)
+    o = orders.add(orderkey=1, owner=p)
+    persons.remove(p)
+    stats = repair_references(manager)
+    assert stats["nulled"] == 1
+    assert o.owner is None
+
+
+def test_repair_direct_pointer_mode(direct_manager):
+    persons = Collection(TPerson, manager=direct_manager)
+    orders = Collection(TOrder, manager=direct_manager)
+    p = persons.add(name="gone", age=1)
+    o = orders.add(orderkey=1, owner=p)
+    persons.remove(p)
+    stats = repair_references(direct_manager)
+    assert stats["nulled"] == 1
+    assert o.owner is None
+
+
+def test_repair_in_thread(manager):
+    persons = Collection(TPerson, manager=manager)
+    orders = Collection(TOrder, manager=manager)
+    p = persons.add(name="gone", age=1)
+    orders.add(orderkey=1, owner=p)
+    persons.remove(p)
+    thread = repair_in_thread(manager)
+    thread.join(timeout=10)
+    assert not thread.is_alive()
+    assert next(iter(orders)).owner is None
+
+
+def test_repair_noop_on_clean_data(manager):
+    persons = Collection(TPerson, manager=manager)
+    orders = Collection(TOrder, manager=manager)
+    p = persons.add(name="x", age=1)
+    orders.add(orderkey=1, owner=p)
+    stats = repair_references(manager)
+    assert stats["nulled"] == 0
+    assert stats["reclaimed"] == 0

@@ -1,0 +1,50 @@
+"""Slot-directory word codec, including property-based roundtrips."""
+
+from hypothesis import given, strategies as st
+
+from repro.memory import slots
+
+
+def test_state_constants_distinct():
+    assert len({slots.FREE, slots.VALID, slots.LIMBO}) == 3
+
+
+def test_pack_free_is_zero():
+    assert slots.pack(slots.FREE) == 0
+
+
+def test_state_extraction():
+    word = slots.pack(slots.LIMBO, 17)
+    assert slots.state_of(word) == slots.LIMBO
+    assert slots.epoch_of(word) == 17
+
+
+def test_reclaimable_requires_two_epochs():
+    word = slots.pack(slots.LIMBO, epoch=10)
+    assert not slots.is_reclaimable(word, 10)
+    assert not slots.is_reclaimable(word, 11)
+    assert slots.is_reclaimable(word, 12)
+    assert slots.is_reclaimable(word, 100)
+
+
+def test_non_limbo_never_reclaimable():
+    assert not slots.is_reclaimable(slots.pack(slots.VALID), 10**6)
+    assert not slots.is_reclaimable(slots.pack(slots.FREE), 10**6)
+
+
+@given(
+    state=st.sampled_from([slots.FREE, slots.VALID, slots.LIMBO]),
+    epoch=st.integers(min_value=0, max_value=slots.EPOCH_MASK),
+)
+def test_pack_roundtrip(state, epoch):
+    word = slots.pack(state, epoch)
+    assert slots.state_of(word) == state
+    assert slots.epoch_of(word) == epoch
+    assert 0 <= word < 2**32
+
+
+@given(epoch=st.integers(min_value=0, max_value=slots.EPOCH_MASK - 2))
+def test_reclamation_boundary(epoch):
+    word = slots.pack(slots.LIMBO, epoch)
+    assert not slots.is_reclaimable(word, epoch + 1)
+    assert slots.is_reclaimable(word, epoch + 2)

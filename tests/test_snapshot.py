@@ -1,0 +1,137 @@
+"""Snapshot persistence: save/load roundtrips."""
+
+import datetime
+from decimal import Decimal
+
+import pytest
+
+from repro.core.collection import Collection
+from repro.io import SnapshotError, load_collections, save_collections
+from repro.memory.manager import MemoryManager
+
+from tests.schemas import TEverything, TNode, TOrder, TPerson
+
+
+@pytest.fixture
+def snap_path(tmp_path):
+    return str(tmp_path / "data.smcsnap")
+
+
+def test_roundtrip_scalars_and_strings(manager, snap_path):
+    persons = Collection(TPerson, manager=manager)
+    notes = Collection(TEverything, manager=manager)
+    for i in range(50):
+        persons.add(name=f"p{i}", age=i, balance=Decimal(i) / 4)
+        notes.add(
+            i32=i,
+            price=Decimal(i),
+            day=datetime.date(2020, 1, 1) + datetime.timedelta(days=i),
+            code=f"c{i}",
+            memo=f"variable text {i}",
+            flag=bool(i % 2),
+        )
+    written = save_collections(snap_path, {"persons": persons, "notes": notes})
+    assert written == 100
+
+    loaded = load_collections(snap_path)
+    lp, ln = loaded["persons"], loaded["notes"]
+    assert sorted((h.name, h.age, h.balance) for h in lp) == sorted(
+        (h.name, h.age, h.balance) for h in persons
+    )
+    assert sorted((h.i32, h.price, h.day, h.code, h.memo, h.flag) for h in ln) == sorted(
+        (h.i32, h.price, h.day, h.code, h.memo, h.flag) for h in notes
+    )
+    loaded["_manager"].close()
+
+
+def test_roundtrip_references(manager, snap_path):
+    persons = Collection(TPerson, manager=manager)
+    orders = Collection(TOrder, manager=manager)
+    people = [persons.add(name=f"p{i}", age=i) for i in range(10)]
+    for i, p in enumerate(people):
+        orders.add(orderkey=i, owner=p, total=Decimal(i))
+    orders.add(orderkey=99, owner=None)  # null reference round-trips too
+
+    save_collections(snap_path, {"persons": persons, "orders": orders})
+    loaded = load_collections(snap_path)
+    lo = sorted(loaded["orders"], key=lambda h: h.orderkey)
+    assert lo[-1].owner is None
+    for h in lo[:-1]:
+        assert h.owner.name == f"p{h.orderkey}"
+    loaded["_manager"].close()
+
+
+def test_roundtrip_self_references(manager, snap_path):
+    nodes = Collection(TNode, manager=manager)
+    a = nodes.add(value=1)
+    b = nodes.add(value=2, next=a)
+    a.next = b  # cycle
+    save_collections(snap_path, {"nodes": nodes})
+    loaded = load_collections(snap_path)
+    ln = sorted(loaded["nodes"], key=lambda h: h.value)
+    assert ln[0].next.value == 2
+    assert ln[1].next.value == 1
+    loaded["_manager"].close()
+
+
+def test_load_into_columnar(manager, snap_path):
+    persons = Collection(TPerson, manager=manager)
+    for i in range(20):
+        persons.add(name=f"p{i}", age=i)
+    save_collections(snap_path, {"persons": persons})
+    loaded = load_collections(snap_path, columnar=True)
+    from repro.core.columnar import ColumnarCollection
+
+    assert isinstance(loaded["persons"], ColumnarCollection)
+    assert sorted(h.age for h in loaded["persons"]) == list(range(20))
+    loaded["_manager"].close()
+
+
+def test_reference_outside_snapshot_rejected(manager, snap_path):
+    persons = Collection(TPerson, manager=manager)
+    orders = Collection(TOrder, manager=manager)
+    orders.add(orderkey=1, owner=persons.add(name="x", age=1))
+    with pytest.raises(SnapshotError):
+        save_collections(snap_path, {"orders": orders})  # persons missing
+
+
+def test_bad_magic_rejected(snap_path):
+    with open(snap_path, "wb") as fh:
+        fh.write(b"NOTASNAP")
+    with pytest.raises(SnapshotError):
+        load_collections(snap_path)
+
+
+def test_truncated_file_rejected(manager, snap_path):
+    persons = Collection(TPerson, manager=manager)
+    persons.add(name="x", age=1)
+    save_collections(snap_path, {"persons": persons})
+    data = open(snap_path, "rb").read()
+    with open(snap_path, "wb") as fh:
+        fh.write(data[: len(data) - 5])
+    with pytest.raises(SnapshotError):
+        load_collections(snap_path)
+
+
+def test_underscore_keys_skipped(manager, snap_path):
+    persons = Collection(TPerson, manager=manager)
+    persons.add(name="x", age=1)
+    save_collections(snap_path, {"persons": persons, "_manager": manager})
+    loaded = load_collections(snap_path)
+    assert set(k for k in loaded if not k.startswith("_")) == {"persons"}
+    loaded["_manager"].close()
+
+
+def test_tpch_snapshot_roundtrip(tpch_tiny, tmp_path):
+    """End-to-end: snapshot a loaded TPC-H database, reload, re-run Q5."""
+    from repro.tpch.loader import load_smc
+    from repro.tpch.queries import DEFAULT_PARAMS, QUERIES
+
+    src = load_smc(tpch_tiny)
+    path = str(tmp_path / "tpch.smcsnap")
+    save_collections(path, src)
+    loaded = load_collections(path)
+    before = sorted(QUERIES["q5"](src).run(params=DEFAULT_PARAMS).rows)
+    after = sorted(QUERIES["q5"](loaded).run(params=DEFAULT_PARAMS).rows)
+    assert before == after
+    loaded["_manager"].close()

@@ -1,0 +1,113 @@
+"""Static tabular-type rules (paper section 2)."""
+
+import pytest
+
+from repro.errors import TabularTypeError
+from repro.schema import CharField, Int32Field, RefField, Tabular
+from repro.schema.tabular import resolve_tabular
+
+from tests.schemas import TNode, TPerson
+
+
+def test_fields_collected_in_declaration_order():
+    assert [f.name for f in TPerson.__fields__] == ["name", "age", "balance"]
+
+
+def test_fields_are_bound():
+    assert TPerson.__fields__[0].owner is TPerson
+    assert TPerson.__fields__[1].index == 1
+
+
+def test_tabular_classes_cannot_be_instantiated():
+    with pytest.raises(TabularTypeError):
+        TPerson()
+
+
+def test_no_inheritance_between_tabular_classes():
+    with pytest.raises(TabularTypeError):
+
+        class Sub(TPerson):  # noqa: F841
+            extra = Int32Field()
+
+
+def test_no_mixing_with_plain_classes():
+    class Plain:
+        pass
+
+    with pytest.raises(TabularTypeError):
+
+        class Mixed(Tabular, Plain):  # noqa: F841
+            x = Int32Field()
+
+
+def test_empty_tabular_class_rejected():
+    with pytest.raises(TabularTypeError):
+
+        class Empty(Tabular):  # noqa: F841
+            pass
+
+
+def test_reference_to_non_tabular_rejected():
+    class NotTabular:
+        pass
+
+    with pytest.raises(TabularTypeError):
+
+        class Bad(Tabular):  # noqa: F841
+            other = RefField(NotTabular)
+
+
+def test_unknown_string_target_fails_on_resolution():
+    class Dangling(Tabular):
+        other = RefField("NoSuchClass")
+
+    with pytest.raises(TabularTypeError):
+        Dangling.__fields__[0].resolve_target()
+
+
+def test_string_target_resolution():
+    assert resolve_tabular("TPerson") is TPerson
+
+
+def test_self_reference_allowed():
+    assert TNode.__fields__[1].resolve_target() is TNode
+
+
+def test_field_instances_cannot_be_shared():
+    shared = CharField(4)
+
+    class A(Tabular):
+        x = shared
+
+    with pytest.raises(TabularTypeError):
+
+        class B(Tabular):  # noqa: F841
+            y = shared
+
+
+def test_managed_class_mirrors_fields():
+    record_cls = TPerson.managed_class()
+    rec = record_cls(name="Ada", age=36)
+    assert rec.name == "Ada"
+    assert rec.age == 36
+    assert rec.balance is None
+    assert record_cls.__slots__ == ("name", "age", "balance")
+    assert record_cls.__tabular__ is TPerson
+
+
+def test_managed_class_is_cached():
+    assert TPerson.managed_class() is TPerson.managed_class()
+
+
+def test_managed_records_have_no_dict():
+    rec = TPerson.managed_class()(name="x")
+    with pytest.raises(AttributeError):
+        rec.bogus = 1
+
+
+def test_field_names_helper():
+    assert TPerson.field_names() == ["name", "age", "balance"]
+
+
+def test_layout_helper():
+    assert TPerson.layout() is TPerson.__layout__

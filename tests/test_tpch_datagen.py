@@ -1,0 +1,107 @@
+"""TPC-H data generator: determinism and spec-shaped distributions."""
+
+import datetime
+from decimal import Decimal
+
+import pytest
+
+from repro.tpch.datagen import NATIONS, REGIONS, generate
+
+
+def test_determinism(tpch_tiny):
+    again = generate(0.0005, seed=42)
+    assert again.lineitem == tpch_tiny.lineitem
+    assert again.orders == tpch_tiny.orders
+
+
+def test_different_seed_differs(tpch_tiny):
+    other = generate(0.0005, seed=7)
+    assert other.lineitem != tpch_tiny.lineitem
+
+
+def test_row_counts_scale():
+    small = generate(0.001)
+    big = generate(0.002)
+    assert len(big.orders) == 2 * len(small.orders)
+    assert len(big.customer) == 2 * len(small.customer)
+    assert len(big.partsupp) == 4 * len(big.part)
+
+
+def test_fixed_dimension_tables(tpch_tiny):
+    assert [r["name"] for r in tpch_tiny.region] == REGIONS
+    assert len(tpch_tiny.nation) == 25
+    assert {n["regionkey"] for n in tpch_tiny.nation} == set(range(5))
+    assert [n["name"] for n in tpch_tiny.nation] == [n for n, __ in NATIONS]
+
+
+def test_scale_factor_validation():
+    with pytest.raises(ValueError):
+        generate(0)
+
+
+def test_lineitems_per_order(tpch_tiny):
+    per_order = {}
+    for li in tpch_tiny.lineitem:
+        per_order[li["orderkey"]] = per_order.get(li["orderkey"], 0) + 1
+    counts = set(per_order.values())
+    assert counts <= set(range(1, 8))
+    avg = len(tpch_tiny.lineitem) / len(tpch_tiny.orders)
+    assert 3.0 < avg < 5.0
+
+
+def test_returnflag_watershed(tpch_tiny):
+    watershed = datetime.date(1995, 6, 17)
+    for li in tpch_tiny.lineitem:
+        if li["receiptdate"] <= watershed:
+            assert li["returnflag"] in ("R", "A")
+        else:
+            assert li["returnflag"] == "N"
+        assert li["linestatus"] == ("O" if li["shipdate"] > watershed else "F")
+
+
+def test_date_ordering_invariants(tpch_tiny):
+    for li in tpch_tiny.lineitem:
+        order = tpch_tiny.orders[li["orderkey"] - 1]
+        assert order["orderkey"] == li["orderkey"]
+        assert li["shipdate"] > order["orderdate"]
+        assert li["receiptdate"] > li["shipdate"]
+
+
+def test_money_columns_have_two_digit_scale(tpch_tiny):
+    for li in tpch_tiny.lineitem[:500]:
+        for col in ("extendedprice", "discount", "tax", "quantity"):
+            value = li[col]
+            assert isinstance(value, Decimal)
+            assert value == value.quantize(Decimal("0.01"))
+        assert Decimal("0") <= li["discount"] <= Decimal("0.10")
+        assert Decimal("0") <= li["tax"] <= Decimal("0.08")
+        assert 1 <= li["quantity"] <= 50
+
+
+def test_totalprice_matches_lineitems(tpch_tiny):
+    order = tpch_tiny.orders[0]
+    lines = [
+        li for li in tpch_tiny.lineitem if li["orderkey"] == order["orderkey"]
+    ]
+    total = sum(
+        li["extendedprice"] * (1 - li["discount"]) * (1 + li["tax"])
+        for li in lines
+    ).quantize(Decimal("0.01"))
+    assert order["totalprice"] == total
+
+
+def test_foreign_keys_resolve(tpch_tiny):
+    n_cust = len(tpch_tiny.customer)
+    n_part = len(tpch_tiny.part)
+    n_supp = len(tpch_tiny.supplier)
+    for o in tpch_tiny.orders:
+        assert 1 <= o["custkey"] <= n_cust
+    for li in tpch_tiny.lineitem[:1000]:
+        assert 1 <= li["partkey"] <= n_part
+        assert 1 <= li["suppkey"] <= n_supp
+
+
+def test_row_counts_helper(tpch_tiny):
+    counts = tpch_tiny.row_counts()
+    assert counts["region"] == 5
+    assert counts["lineitem"] == len(tpch_tiny.lineitem)
