@@ -117,6 +117,12 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Self-managed collections (EDBT 2017 reproduction)",
     )
+    parser.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="run the command under the protocol sanitizer "
+        "(checks memory-reclamation invariants; see docs/sanitizer.md)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     gen = sub.add_parser("gen", help="generate TPC-H data into a snapshot")
@@ -151,6 +157,14 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.sanitize:
+        from repro import sanitizer
+
+        with sanitizer.enabled() as san:
+            rc = args.fn(args)
+            san.assert_clean()
+            print(f"sanitizer: clean ({sum(san.event_counts.values())} events)")
+            return rc
     return args.fn(args)
 
 

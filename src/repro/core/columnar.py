@@ -28,6 +28,7 @@ from repro.memory.indirection import INC_MASK
 from repro.memory.manager import MemoryManager
 from repro.memory.reference import Ref
 from repro.memory.slots import FREE, LIMBO, VALID
+from repro.sanitizer import hooks as _san
 from repro.core.collection import Collection, default_manager
 from repro.schema.fields import (
     BoolField,
@@ -84,6 +85,8 @@ class ColumnarBlock:
         "valid_count",
         "limbo_count",
         "alloc_cursor",
+        "is_active",
+        "compacting",
         "queued_for_reclaim",
         "reclaim_ready_epoch",
         "relocation_list",
@@ -121,6 +124,8 @@ class ColumnarBlock:
         self.valid_count = 0
         self.limbo_count = 0
         self.alloc_cursor = 0
+        self.is_active = False
+        self.compacting = False
         self.queued_for_reclaim = False
         self.reclaim_ready_epoch = -1
         self.relocation_list = None
@@ -140,6 +145,10 @@ class ColumnarBlock:
         return int(self.directory[slot]) & slotcodec.STATE_MASK
 
     def mark_valid(self, slot: int) -> None:
+        if _san.SANITIZER is not None:
+            _san.SANITIZER.event(
+                "slot.valid", block=self, slot=slot, word=int(self.directory[slot])
+            )
         prev = int(self.directory[slot]) & slotcodec.STATE_MASK
         self.directory[slot] = slotcodec.pack(VALID)
         if prev == LIMBO:
@@ -147,6 +156,14 @@ class ColumnarBlock:
         self.valid_count += 1
 
     def mark_limbo(self, slot: int, epoch: int) -> None:
+        if _san.SANITIZER is not None:
+            _san.SANITIZER.event(
+                "slot.limbo",
+                block=self,
+                slot=slot,
+                word=int(self.directory[slot]),
+                epoch=epoch,
+            )
         if self.state_of(slot) != VALID:
             raise ValueError(f"slot {slot} is not valid")
         self.directory[slot] = slotcodec.pack(LIMBO, epoch)

@@ -43,6 +43,8 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
 from repro.errors import ConcurrencyProtocolError
 from repro.memory.addressing import NULL_ADDRESS
 from repro.memory.indirection import FORWARD, FROZEN, INC_MASK, LOCKED
+from repro.memory.slots import VALID
+from repro.sanitizer import hooks as _san
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.memory.block import Block
@@ -52,6 +54,11 @@ if TYPE_CHECKING:  # pragma: no cover
 PENDING = 0
 FAILED = 1
 DONE = 2
+#: The scheduled object was freed after planning: there is nothing left
+#: to move.  Terminal — unlike FAILED, never retried, and no FORWARD
+#: tombstone is written (rewriting stale direct pointers to the empty
+#: destination slot would resurrect references to the dead object).
+CANCELLED = 3
 
 #: How long the compactor waits for a group's readers before bailing out.
 _READER_WAIT_TIMEOUT = 0.5
@@ -61,7 +68,15 @@ _SPIN_SLEEP = 0.0001
 class RelocationItem:
     """One scheduled object move (an entry of a block's relocation list)."""
 
-    __slots__ = ("from_block", "from_slot", "to_block", "to_slot", "entry", "status")
+    __slots__ = (
+        "from_block",
+        "from_slot",
+        "to_block",
+        "to_slot",
+        "entry",
+        "inc",
+        "status",
+    )
 
     def __init__(
         self,
@@ -70,12 +85,16 @@ class RelocationItem:
         to_block: "Block",
         to_slot: int,
         entry: int,
+        inc: int,
     ) -> None:
         self.from_block = from_block
         self.from_slot = from_slot
         self.to_block = to_block
         self.to_slot = to_slot
         self.entry = entry
+        #: Incarnation counter at scheduling time; a later mismatch means
+        #: the object was freed and the relocation must be cancelled.
+        self.inc = inc
         self.status = PENDING
 
 
@@ -181,6 +200,11 @@ class Compactor:
             block
             for block in context.compactable_blocks(occupancy_threshold)
             if block.compaction_group is None
+            # Sources must leave allocation circulation: a block sitting in
+            # the reclamation queue could otherwise be handed to an
+            # allocator that fills it while we empty it (and its new
+            # objects would be scrubbed with the retired source).
+            and context.claim_for_compaction(block)
         ]
         if not candidates:
             return []
@@ -202,6 +226,10 @@ class Compactor:
         self, context: "MemoryContext", sources: List["Block"], survivors: int
     ) -> CompactionGroup:
         dest = self.manager._acquire_block(context) if survivors else None
+        if dest is not None:
+            # The compactor fills the destination's slots; keep it out of
+            # the reclamation queue until the group settles.
+            dest.is_active = True
         return CompactionGroup(context, list(sources), dest)
 
     # ------------------------------------------------------------------
@@ -226,20 +254,39 @@ class Compactor:
             base = e
             try:
                 self._build_relocation_lists(groups)
+                if _san.SANITIZER is not None:
+                    _san.SANITIZER.event(
+                        "compact.plan",
+                        manager=manager,
+                        groups=len(groups),
+                        items=sum(len(g.items) for g in groups),
+                    )
                 for round_no in range(self.MAX_ROUNDS):
                     # --- freezing epoch: global becomes base + 1 ---------
                     self._advance_until(base + 1)
                     manager.next_relocation_epoch = base + 2
                     self._freeze_pending(groups)
+                    if _san.SANITIZER is not None:
+                        _san.SANITIZER.event(
+                            "compact.freeze", manager=manager, epoch=base + 1
+                        )
                     # --- relocation epoch: global becomes base + 2 -------
                     self._wait_others(base + 1)
                     self._advance_until(base + 2)
                     manager.in_moving_phase = False
+                    if _san.SANITIZER is not None:
+                        _san.SANITIZER.event(
+                            "compact.waiting", manager=manager, epoch=base + 2
+                        )
                     # Waiting phase: readers that hit frozen objects bail
                     # them out; once every other in-critical thread reached
                     # base + 2 we may start moving.
                     self._wait_others(base + 2)
                     manager.in_moving_phase = True
+                    if _san.SANITIZER is not None:
+                        _san.SANITIZER.event(
+                            "compact.moving", manager=manager, epoch=base + 2
+                        )
                     for group in groups:
                         moved += self._relocate_group(group)
                     manager.in_moving_phase = False
@@ -247,6 +294,13 @@ class Compactor:
                     # --- leave the relocation epoch: base + 3 ------------
                     self._advance_until(base + 3)
                     base += 3
+                    if _san.SANITIZER is not None:
+                        _san.SANITIZER.event(
+                            "compact.round",
+                            manager=manager,
+                            round=round_no,
+                            moved=moved,
+                        )
                     if not any(self._retryable_items(g) for g in groups):
                         break
                     for group in groups:
@@ -255,7 +309,10 @@ class Compactor:
                 # Groups whose items never all completed stay in place.
                 for group in groups:
                     if not group.finished and not group.failed:
-                        if any(i.status != DONE for i in group.items):
+                        if any(
+                            i.status not in (DONE, CANCELLED)
+                            for i in group.items
+                        ):
                             self._fail_group(group)
                         else:
                             self._finish_group(group)
@@ -275,6 +332,8 @@ class Compactor:
         self._items_by_entry.clear()
         manager.stats.compactions += 1
         manager.stats.relocations += moved
+        if _san.SANITIZER is not None:
+            _san.SANITIZER.event("compact.done", manager=manager, moved=moved)
         return moved
 
     def _advance_until(self, target: int) -> None:
@@ -307,21 +366,42 @@ class Compactor:
                     # skipped: its entry may already serve another object.
                     if table.address_of(entry) != block.slot_address(slot):
                         continue
-                    item = RelocationItem(block, slot, group.dest, next_slot, entry)
+                    inc = table.incarnation(entry)
+                    item = RelocationItem(
+                        block, slot, group.dest, next_slot, entry, inc
+                    )
                     next_slot += 1
                     group.items.append(item)
                     block.relocation_list.append(item)
                     self._items_by_entry[entry] = item
 
     def _freeze_pending(self, groups: List[CompactionGroup]) -> None:
-        """Set FROZEN on every still-pending scheduled entry."""
+        """Set FROZEN on every still-pending scheduled entry.
+
+        The freeze is a CAS conditioned on the incarnation counter still
+        being the one captured at planning time: an object freed since —
+        whose entry may already be drained to null or even recycled for a
+        new object — must not be branded FROZEN; its item is cancelled
+        instead.  The CAS and ``free``'s counter bump serialise on the
+        entry's stripe lock, so a successful freeze proves the object is
+        still alive at that instant.
+        """
         table = self.manager.table
         for group in groups:
             if group.failed or group.finished:
                 continue
             for item in group.items:
-                if item.status == PENDING:
-                    table.set_flags(item.entry, FROZEN)
+                if item.status != PENDING:
+                    continue
+                while True:
+                    word = table.incarnation_word(item.entry)
+                    if (word & INC_MASK) != item.inc:
+                        item.status = CANCELLED
+                        break
+                    if word & FROZEN or table.cas_inc(
+                        item.entry, word, word | FROZEN
+                    ):
+                        break
 
     def _retryable_items(self, group: CompactionGroup) -> List[RelocationItem]:
         if group.failed or group.finished:
@@ -349,9 +429,16 @@ class Compactor:
             time.sleep(_SPIN_SLEEP)
         moved = 0
         for item in group.items:
+            if _san.SANITIZER is not None:
+                _san.SANITIZER.event(
+                    "compact.move_item",
+                    entry=item.entry,
+                    from_slot=item.from_slot,
+                    to_slot=item.to_slot,
+                )
             if self._move_item_locked(item):
                 moved += 1
-        if all(item.status == DONE for item in group.items):
+        if all(item.status in (DONE, CANCELLED) for item in group.items):
             self._finish_group(group)
         return moved
 
@@ -369,11 +456,33 @@ class Compactor:
                 # A reader bailed it out between status check and lock.
                 item.status = FAILED
                 return False
+            if self._item_went_stale(item, word):
+                item.status = CANCELLED
+                return False
             self._copy_object(item)
             item.status = DONE
             return True
         finally:
             self._unfreeze_after_move(item)
+
+    def _item_went_stale(self, item: RelocationItem, word: int) -> bool:
+        """True if the scheduled object died after the item was built.
+
+        ``free`` races the relocation machinery (section 5.1 footnote):
+        FROZEN alone does not stop it, so by the time the mover holds the
+        LOCKED bit the source slot may already be limbo — moving it would
+        resurrect a freed object and double-free its slot.  The check runs
+        under the entry lock, which ``free``'s incarnation CAS respects,
+        so a stale item can never flip back to live.
+        """
+        if (word & INC_MASK) != item.inc:
+            return True
+        src = item.from_block
+        return (
+            src.state_of(item.from_slot) != VALID
+            or self.manager.table.address_of(item.entry)
+            != src.slot_address(item.from_slot)
+        )
 
     def _copy_object(self, item: RelocationItem) -> None:
         """Copy the slot bytes and re-point the indirection entry.
@@ -428,10 +537,12 @@ class Compactor:
                 table.clear_flags(item.entry, FROZEN | LOCKED)
             else:
                 table.clear_flags(item.entry, LOCKED)
-            if item.status != DONE:
+            if item.status not in (DONE, CANCELLED):
                 not_done += 1
         group.failed = True
         self.manager.stats.failed_relocations += not_done
+        if group.dest is not None:
+            group.dest.is_active = False
         if (
             group.dest is not None
             and not group.dest_attached
@@ -441,6 +552,9 @@ class Compactor:
         for block in group.sources:
             block.compaction_group = None
             block.relocation_list = None
+            # The sources revert to ordinary blocks; reclamation may have
+            # them again.
+            block.compacting = False
 
     def _finish_group(self, group: CompactionGroup) -> None:
         """Detach the emptied sources; the destination was attached at the
@@ -452,6 +566,8 @@ class Compactor:
             if group.finished:
                 return
             group.finished = True
+        if group.dest is not None:
+            group.dest.is_active = False
         if group.dest is not None and not group.dest_attached:
             # Nothing was moved (empty group): recycle the destination.
             self.manager._release_block(group.dest)
@@ -474,6 +590,7 @@ class Compactor:
             if force or ready <= epoch:
                 block.compaction_group = None
                 block.relocation_list = None
+                block.compacting = False
                 # Moved-out objects left their source slots formally VALID
                 # for pre-state readers; scrub before returning to the pool.
                 block.directory.fill(0)
@@ -516,10 +633,14 @@ class Compactor:
         while not table.try_lock(entry):
             time.sleep(_SPIN_SLEEP)
         try:
-            if item.status == PENDING and table.incarnation_word(entry) & FROZEN:
-                self._copy_object(item)
-                item.status = DONE
-                self.manager.stats.helped_relocations += 1
+            word = table.incarnation_word(entry)
+            if item.status == PENDING and word & FROZEN:
+                if self._item_went_stale(item, word):
+                    item.status = CANCELLED
+                else:
+                    self._copy_object(item)
+                    item.status = DONE
+                    self.manager.stats.helped_relocations += 1
         finally:
             self._unfreeze_after_move(item)
 

@@ -55,3 +55,32 @@ class ConcurrencyProtocolError(SmcError):
     critical section that was never entered, or starting a compaction while
     one is already running.
     """
+
+
+class ProtocolViolation(SmcError):
+    """Raised by the protocol sanitizer when a core invariant is broken.
+
+    Unlike :class:`ConcurrencyProtocolError` (API misuse surfaced by the
+    runtime itself), a protocol violation means the *memory-reclamation
+    protocol state* is inconsistent — a slot left limbo before its safety
+    epoch, an incarnation counter regressed, a FROZEN bit appeared on a
+    FREE slot, and so on.  Carries the violated invariant's name and the
+    tail of the sanitizer's event trace for post-mortem debugging.
+    """
+
+    def __init__(self, invariant: str, message: str, trace=()) -> None:
+        self.invariant = invariant
+        self.trace = list(trace)
+        detail = message
+        if self.trace:
+            tail = "\n".join(f"    {line}" for line in self.trace[-20:])
+            detail = f"{message}\n  event trace (most recent last):\n{tail}"
+        super().__init__(f"[{invariant}] {detail}")
+
+
+class InjectedFaultError(SmcError):
+    """Raised by the sanitizer's fault-injection harness.
+
+    Marks deliberately injected failures (e.g. a simulated compactor crash
+    mid-relocation) so tests can distinguish them from genuine errors.
+    """

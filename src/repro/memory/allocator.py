@@ -19,6 +19,8 @@ import threading
 from collections import deque
 from typing import TYPE_CHECKING, Deque, Dict, Optional
 
+from repro.sanitizer import hooks as _san
+
 if TYPE_CHECKING:  # pragma: no cover
     from repro.memory.block import Block
 
@@ -31,9 +33,18 @@ class ReclamationQueue:
         self._lock = threading.Lock()
 
     def push(self, block: "Block", ready_epoch: int) -> None:
-        """Enqueue *block*; it may be handed out at *ready_epoch*."""
+        """Enqueue *block*; it may be handed out at *ready_epoch*.
+
+        Blocks some thread currently allocates into are refused: queueing
+        one would let :meth:`pop_ready` hand it to a *second* allocator,
+        breaking the one-thread-per-block allocation rule.  The check
+        happens under the queue lock, the same lock under which
+        :meth:`pop_ready` marks a block active, so the decision is
+        race-free; a refused block is re-examined when its owner retires
+        it (``MemoryContext._retire_active_block``).
+        """
         with self._lock:
-            if block.queued_for_reclaim:
+            if block.queued_for_reclaim or block.is_active or block.compacting:
                 return
             block.queued_for_reclaim = True
             block.reclaim_ready_epoch = ready_epoch
@@ -47,9 +58,46 @@ class ReclamationQueue:
             head = self._queue[0]
             if head.reclaim_ready_epoch > global_epoch:
                 return None
+            if _san.SANITIZER is not None:
+                # Inside the queue lock: a concurrent re-push cannot change
+                # the ready epoch between the check and the event.
+                _san.SANITIZER.event(
+                    "block.recycled",
+                    lock_held=True,
+                    block=head,
+                    ready=head.reclaim_ready_epoch,
+                    epoch=global_epoch,
+                )
             self._queue.popleft()
             head.queued_for_reclaim = False
+            # Adopted by the calling thread while still under the queue
+            # lock, so a concurrent push cannot re-queue it from here on.
+            head.is_active = True
             return head
+
+    def claim_for_compaction(self, block: "Block") -> bool:
+        """Atomically take *block* out of allocation circulation.
+
+        A compaction source must be owned exclusively by the compactor: if
+        it stayed in the reclamation queue, :meth:`pop_ready` could hand it
+        to an allocator that fills its limbo slots with new objects — which
+        the compactor, unaware, would later scrub away with the emptied
+        source.  Under the queue lock the block is dequeued (if queued) and
+        flagged ``compacting``, which :meth:`push` refuses from then on.
+        Returns False — reject the block as a source — if some thread
+        already adopted it for allocation.
+        """
+        with self._lock:
+            if block.is_active:
+                return False
+            if block.queued_for_reclaim:
+                try:
+                    self._queue.remove(block)
+                except ValueError:
+                    return False
+                block.queued_for_reclaim = False
+            block.compacting = True
+            return True
 
     def has_blocked_head(self, global_epoch: int) -> bool:
         """True if the queue is non-empty but its head is not ready yet.

@@ -32,6 +32,7 @@ import numpy as np
 
 from repro.memory import slots as slotcodec
 from repro.memory.slots import FREE, LIMBO, VALID
+from repro.sanitizer import hooks as _san
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.memory.addressing import AddressSpace
@@ -70,6 +71,8 @@ class Block:
         "valid_count",
         "limbo_count",
         "alloc_cursor",
+        "is_active",
+        "compacting",
         "queued_for_reclaim",
         "reclaim_ready_epoch",
         "relocation_list",
@@ -141,8 +144,18 @@ class Block:
         self.valid_count = 0
         self.limbo_count = 0
         self.alloc_cursor = 0
+        #: True while some thread allocates in this block (thread-local
+        #: active block) or the compactor fills it as a relocation
+        #: destination.  Active blocks must never enter the reclamation
+        #: queue: handing one to a second allocator would let two threads
+        #: claim slots in the same block (section 3.5's one-allocator rule).
+        self.is_active = False
         self.queued_for_reclaim = False
         self.reclaim_ready_epoch = -1
+        #: True while this block is claimed as a compaction source; the
+        #: reclamation queue refuses such blocks (see
+        #: ``ReclamationQueue.claim_for_compaction``).
+        self.compacting = False
         # Compaction bookkeeping (section 5): populated by the compactor.
         self.relocation_list: Optional[list] = None
         self.compaction_group: Optional[object] = None
@@ -167,6 +180,10 @@ class Block:
         return int(self.directory[slot]) & slotcodec.STATE_MASK
 
     def mark_valid(self, slot: int) -> None:
+        if _san.SANITIZER is not None:
+            _san.SANITIZER.event(
+                "slot.valid", block=self, slot=slot, word=int(self.directory[slot])
+            )
         prev = int(self.directory[slot]) & slotcodec.STATE_MASK
         self.directory[slot] = slotcodec.pack(VALID)
         if prev == LIMBO:
@@ -174,6 +191,14 @@ class Block:
         self.valid_count += 1
 
     def mark_limbo(self, slot: int, epoch: int) -> None:
+        if _san.SANITIZER is not None:
+            _san.SANITIZER.event(
+                "slot.limbo",
+                block=self,
+                slot=slot,
+                word=int(self.directory[slot]),
+                epoch=epoch,
+            )
         if (int(self.directory[slot]) & slotcodec.STATE_MASK) != VALID:
             raise ValueError(f"slot {slot} is not valid; cannot move to limbo")
         self.directory[slot] = slotcodec.pack(LIMBO, epoch)
@@ -259,6 +284,8 @@ class Block:
         self.valid_count = 0
         self.limbo_count = 0
         self.alloc_cursor = 0
+        self.is_active = False
+        self.compacting = False
         self.queued_for_reclaim = False
         self.reclaim_ready_epoch = -1
         self.relocation_list = None

@@ -116,6 +116,7 @@ class MemoryContext:
                 manager.stats.blocks_recycled += 1
             else:
                 block = manager._acquire_block(self)
+                block.is_active = True
                 self._attach_block(block)
             self._tl_blocks.set(block)
 
@@ -128,6 +129,7 @@ class MemoryContext:
 
     def _retire_active_block(self, block: Block) -> None:
         """An exhausted thread-local block becomes queue-eligible again."""
+        block.is_active = False
         if block.limbo_fraction > self.manager.reclamation_threshold:
             self._reclaim.push(block, self.manager.epochs.global_epoch + 2)
 
@@ -140,15 +142,31 @@ class MemoryContext:
         epoch = self.manager.epochs.global_epoch
         block.mark_limbo(slot, epoch)
         self.live_count -= 1
-        # Blocks actively used for allocation are re-examined when retired;
-        # all other blocks join the queue as soon as they cross the
-        # reclamation threshold.
-        if block is not self._tl_blocks.get():
+        # Blocks actively used for allocation — by ANY thread, not just the
+        # remover — are re-examined when retired; all other blocks join the
+        # queue as soon as they cross the reclamation threshold.  (The
+        # ``is_active`` read here may be stale; ``push`` re-checks it under
+        # the queue lock, so an active block can never actually be queued.)
+        if not block.is_active:
             if (
                 not block.queued_for_reclaim
                 and block.limbo_fraction > self.manager.reclamation_threshold
             ):
                 self._reclaim.push(block, epoch + 2)
+
+    # ------------------------------------------------------------------
+    # Compaction cooperation (section 5)
+    # ------------------------------------------------------------------
+
+    def claim_for_compaction(self, block: Block) -> bool:
+        """Give the compactor exclusive ownership of *block*'s slots.
+
+        Dequeues the block from the reclamation queue (if queued) and bars
+        it from re-entering, so no allocator can start filling a block
+        whose survivors are being relocated.  False if an allocator beat
+        the compactor to it.
+        """
+        return self._reclaim.claim_for_compaction(block)
 
     # ------------------------------------------------------------------
     # Introspection

@@ -27,6 +27,7 @@ import threading
 from typing import Dict, Iterator, Optional
 
 from repro.errors import ConcurrencyProtocolError
+from repro.sanitizer import hooks as _san
 
 
 class SectionContext:
@@ -100,6 +101,8 @@ class EpochManager:
         ctx = self._context()
         if ctx.depth == 0:
             ctx.epoch = self._global_epoch
+            if _san.SANITIZER is not None:
+                _san.SANITIZER.event("section.enter", epochs=self, epoch=ctx.epoch)
         ctx.depth += 1
         return ctx.epoch
 
@@ -110,6 +113,8 @@ class EpochManager:
                 "exit_critical_section without matching enter"
             )
         ctx.depth -= 1
+        if ctx.depth == 0 and _san.SANITIZER is not None:
+            _san.SANITIZER.event("section.exit", epochs=self, epoch=ctx.epoch)
 
     class _Critical:
         __slots__ = ("_mgr",)
@@ -163,6 +168,14 @@ class EpochManager:
                     if ctx.in_critical and ctx.epoch < current:
                         return False
             self._global_epoch = current + 1
+            if _san.SANITIZER is not None:
+                _san.SANITIZER.event(
+                    "epoch.advance",
+                    lock_held=True,
+                    epochs=self,
+                    old=current,
+                    new=current + 1,
+                )
             return True
 
     def restrict_advancement(self, thread_id: Optional[int]) -> None:

@@ -39,6 +39,7 @@ import numpy as np
 
 from repro.errors import IncarnationOverflowError
 from repro.memory.addressing import NULL_ADDRESS
+from repro.sanitizer import hooks as _san
 
 FROZEN = 1 << 31
 LOCKED = 1 << 30
@@ -94,6 +95,14 @@ class IndirectionTable:
                     self._grow()
                 self._size += 1
             self._addr[idx] = address
+            if _san.SANITIZER is not None:
+                _san.SANITIZER.event(
+                    "entry.alloc",
+                    lock_held=True,
+                    table=self,
+                    entry=idx,
+                    address=address,
+                )
             return idx
 
     def release(self, idx: int) -> None:
@@ -103,6 +112,8 @@ class IndirectionTable:
         :meth:`increment_incarnation`; entries whose counter overflowed are
         retired and never reused.
         """
+        if _san.SANITIZER is not None:
+            _san.SANITIZER.event("entry.release", table=self, entry=idx)
         word = int(self._inc[idx])
         if (word & INC_MASK) >= INC_MASK:
             with self._grow_lock:
@@ -128,6 +139,10 @@ class IndirectionTable:
         return int(self._addr[idx])
 
     def set_address(self, idx: int, address: int) -> None:
+        if _san.SANITIZER is not None:
+            _san.SANITIZER.event(
+                "entry.repoint", table=self, entry=idx, address=address
+            )
         self._addr[idx] = address
 
     def incarnation_word(self, idx: int) -> int:
@@ -153,6 +168,16 @@ class IndirectionTable:
             if counter > INC_MASK:
                 raise IncarnationOverflowError(f"entry {idx} overflowed")
             new_word = (word & FLAG_MASK) | counter
+            if _san.SANITIZER is not None:
+                _san.SANITIZER.event(
+                    "inc.update",
+                    lock_held=True,
+                    table=self,
+                    entry=idx,
+                    old=word,
+                    new=new_word,
+                    kind="increment",
+                )
             self._inc[idx] = new_word
             return counter
 
@@ -161,20 +186,52 @@ class IndirectionTable:
         with self._stripes[idx % _LOCK_STRIPES]:
             if int(self._inc[idx]) != expected:
                 return False
+            if _san.SANITIZER is not None:
+                _san.SANITIZER.event(
+                    "inc.update",
+                    lock_held=True,
+                    table=self,
+                    entry=idx,
+                    old=expected,
+                    new=new,
+                    kind="cas",
+                )
             self._inc[idx] = new
             return True
 
     def set_flags(self, idx: int, flags: int) -> int:
         """Atomically OR *flags* into the incarnation word; return new word."""
         with self._stripes[idx % _LOCK_STRIPES]:
-            word = int(self._inc[idx]) | flags
+            old = int(self._inc[idx])
+            word = old | flags
+            if _san.SANITIZER is not None:
+                _san.SANITIZER.event(
+                    "inc.update",
+                    lock_held=True,
+                    table=self,
+                    entry=idx,
+                    old=old,
+                    new=word,
+                    kind="set_flags",
+                )
             self._inc[idx] = word
             return word
 
     def clear_flags(self, idx: int, flags: int) -> int:
         """Atomically clear *flags* from the incarnation word; return new word."""
         with self._stripes[idx % _LOCK_STRIPES]:
-            word = int(self._inc[idx]) & ~flags & 0xFFFFFFFF
+            old = int(self._inc[idx])
+            word = old & ~flags & 0xFFFFFFFF
+            if _san.SANITIZER is not None:
+                _san.SANITIZER.event(
+                    "inc.update",
+                    lock_held=True,
+                    table=self,
+                    entry=idx,
+                    old=old,
+                    new=word,
+                    kind="clear_flags",
+                )
             self._inc[idx] = word
             return word
 
@@ -184,6 +241,16 @@ class IndirectionTable:
             word = int(self._inc[idx])
             if word & LOCKED:
                 return False
+            if _san.SANITIZER is not None:
+                _san.SANITIZER.event(
+                    "inc.update",
+                    lock_held=True,
+                    table=self,
+                    entry=idx,
+                    old=word,
+                    new=word | LOCKED,
+                    kind="lock",
+                )
             self._inc[idx] = word | LOCKED
             return True
 
@@ -230,6 +297,16 @@ class IndirectionTable:
         with self._grow_lock:
             retired, self._retired = self._retired, []
             for idx in retired:
+                if _san.SANITIZER is not None:
+                    _san.SANITIZER.event(
+                        "inc.update",
+                        lock_held=True,
+                        table=self,
+                        entry=idx,
+                        old=int(self._inc[idx]),
+                        new=0,
+                        kind="retire_reset",
+                    )
                 self._inc[idx] = 0
                 self._free.append(idx)
             return len(retired)

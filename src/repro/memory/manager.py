@@ -18,14 +18,25 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Deque, Dict, List, Optional, Tuple
 
-from repro.errors import ConcurrencyProtocolError, NullReferenceError
+from repro.errors import (
+    ConcurrencyProtocolError,
+    IncarnationOverflowError,
+    NullReferenceError,
+)
 from repro.memory.addressing import AddressSpace, NULL_ADDRESS
 from repro.memory.block import Block
 from repro.memory.context import MemoryContext
 from repro.memory.epoch import EpochManager
-from repro.memory.indirection import FLAG_MASK, INC_MASK, IndirectionTable
+from repro.memory.indirection import (
+    FLAG_MASK,
+    FROZEN,
+    INC_MASK,
+    LOCKED,
+    IndirectionTable,
+)
 from repro.memory.reference import Ref
 from repro.memory.stringheap import StringHeap
+from repro.sanitizer import hooks as _san
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.compaction import Compactor
@@ -96,6 +107,9 @@ class MemoryManager:
         self.in_moving_phase = False
 
         self.stats = MemoryStats()
+
+        if _san.SANITIZER is not None:
+            _san.SANITIZER.event("manager.created", manager=self)
 
     # ------------------------------------------------------------------
     # Type & context registry
@@ -173,6 +187,8 @@ class MemoryManager:
         run the constructor, then add to the collection (section 2).
         """
         self._ensure_open()
+        if _san.SANITIZER is not None:
+            _san.SANITIZER.event("alloc.start", manager=self, context=context.name)
         self._drain_retired_entries()
         block, slot = context.allocate_slot()
         address = block.slot_address(slot)
@@ -182,6 +198,8 @@ class MemoryManager:
             context.commit_slot(block, slot)
         self.stats.allocations += 1
         inc = self.table.incarnation(entry)
+        if _san.SANITIZER is not None:
+            _san.SANITIZER.event("alloc.publish", manager=self, entry=entry, slot=slot)
         return block, slot, Ref(self, entry, inc)
 
     def free_object(self, ref: Ref) -> None:
@@ -201,15 +219,35 @@ class MemoryManager:
             raise NullReferenceError(
                 f"object behind entry {entry} was already removed"
             )
-        if word & FLAG_MASK:
-            # Racing with compaction: wait for the relocation machinery to
-            # settle before removing (free must CAS, section 5.1 footnote).
-            table.spin_while_locked(entry)
+        if _san.SANITIZER is not None:
+            _san.SANITIZER.event("free.validated", manager=self, entry=entry)
+        # Free must CAS (section 5.1 footnote): a scheduled relocation
+        # carries FROZEN and a mover holds LOCKED while it copies, so
+        # claiming the increment with a CAS on the flag-free word excludes
+        # the relocation machinery — either the relocation is bailed out
+        # here (and the compactor cancels the now-stale item under its
+        # lock) or it completes first, in which case the address read
+        # below already names the object's final location.
+        while True:
+            if word & FROZEN:
+                if self.compactor is not None:
+                    self.compactor.bail_out_relocation(entry)
+                else:
+                    table.clear_flags(entry, FROZEN)  # stale freeze bit
+                word = table.incarnation_word(entry)
+                continue
+            if word & LOCKED:
+                word = table.spin_while_locked(entry)
+                continue
+            counter = (word & INC_MASK) + 1
+            if counter > INC_MASK:
+                raise IncarnationOverflowError(f"entry {entry} overflowed")
+            if table.cas_inc(entry, word, (word & FLAG_MASK) | counter):
+                break
+            word = table.incarnation_word(entry)
         address = table.address_of(entry)
         block: Block = self.space.block_at(address)  # type: ignore[assignment]
         slot = block.slot_of_address(address)
-
-        table.increment_incarnation(entry)
         # Slot-header incarnation protects direct pointers (section 6).
         block.slot_incs[slot] = (int(block.slot_incs[slot]) + 1) & 0xFFFFFFFF
         # The entry's pointer stays intact: a concurrent reader that passed
@@ -221,6 +259,8 @@ class MemoryManager:
         context = self._contexts[block.context_id]
         context.free_slot(block, slot)
         self.stats.frees += 1
+        if _san.SANITIZER is not None:
+            _san.SANITIZER.event("free.done", manager=self, entry=entry, slot=slot)
 
     def free_object_with_strings(self, collection, ref: Ref) -> None:
         """Free *ref* including its owned strings (bulk-removal helper)."""

@@ -22,6 +22,8 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Iterator, List
 
+from repro.sanitizer import hooks as _san
+
 if TYPE_CHECKING:  # pragma: no cover
     from repro.memory.block import Block
     from repro.memory.context import MemoryContext
@@ -43,6 +45,8 @@ def scan_blocks(manager: "MemoryManager", context: "MemoryContext") -> Iterator[
     def emit(block: "Block"):
         if block.block_id not in emitted:
             emitted.add(block.block_id)
+            if _san.SANITIZER is not None:
+                _san.SANITIZER.event("scan.block", block=block)
             return True
         return False
 

@@ -1,0 +1,109 @@
+"""Opt-in protocol sanitizer for the memory-reclamation core.
+
+Usage::
+
+    from repro import sanitizer
+    from repro.sanitizer import FaultPlan, ScheduleController
+
+    with sanitizer.enabled(manager=m) as san:
+        ...                      # every protocol transition is checked
+    san.assert_clean()
+
+or run any CLI command under it with ``python -m repro --sanitize ...``.
+
+While enabled, hook points threaded through ``repro/memory/*``, the
+compactor and the scan runtime report every protocol transition to a
+:class:`~repro.sanitizer.invariants.Sanitizer`, which validates the
+paper's safety invariants (limbo slots reclaimed only at
+``free_epoch + 2``, monotonic incarnation counters, FROZEN/LOCKED bit
+discipline, epoch advancement rules) and raises
+:class:`~repro.errors.ProtocolViolation` with an event trace on any
+breach.  A :class:`~repro.sanitizer.schedule.ScheduleController` turns
+the same hook points into deterministic yield points for interleaving
+tests, and a :class:`~repro.sanitizer.faults.FaultPlan` injects
+allocation failures, incarnation overflow and compactor crashes.
+
+When nothing is installed every hook is a single ``is not None`` check
+(see :mod:`repro.sanitizer.hooks`) — the disabled overhead is
+unmeasurable next to the allocation fast path.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from repro.sanitizer import hooks as _hooks
+
+__all__ = [
+    "enabled",
+    "install",
+    "uninstall",
+    "active",
+    "Sanitizer",
+    "SanitizedMemoryManager",
+    "ScheduleController",
+    "Gate",
+    "FaultPlan",
+    "ProtocolViolation",
+    "InjectedFaultError",
+]
+
+#: Lazily resolved exports: keeps this package import-free so the memory
+#: core can import :mod:`repro.sanitizer.hooks` without cycles.
+_LAZY = {
+    "Sanitizer": "repro.sanitizer.invariants",
+    "SanitizedMemoryManager": "repro.sanitizer.invariants",
+    "ScheduleController": "repro.sanitizer.schedule",
+    "Gate": "repro.sanitizer.schedule",
+    "FaultPlan": "repro.sanitizer.faults",
+    "ProtocolViolation": "repro.errors",
+    "InjectedFaultError": "repro.errors",
+}
+
+
+def __getattr__(name: str):
+    module = _LAZY.get(name)
+    if module is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module), name)
+
+
+def active():
+    """The currently installed sanitizer, or ``None``."""
+    return _hooks.SANITIZER
+
+
+def install(sanitizer) -> None:
+    """Install *sanitizer* globally (prefer the :func:`enabled` manager)."""
+    _hooks.SANITIZER = sanitizer
+
+
+def uninstall(sanitizer=None) -> None:
+    """Remove the active sanitizer (or *sanitizer*, if it is the active one)."""
+    if sanitizer is None or _hooks.SANITIZER is sanitizer:
+        _hooks.SANITIZER = None
+
+
+@contextmanager
+def enabled(manager=None, schedule=None, faults=None, trace_limit=4096):
+    """Run the enclosed block with a fresh sanitizer installed.
+
+    Nests: the previously installed sanitizer (if any) is restored on
+    exit, so a test may tighten an already-sanitized scope with its own
+    schedule or fault plan.
+    """
+    from repro.sanitizer.invariants import Sanitizer
+
+    sanitizer = Sanitizer(
+        manager=manager, schedule=schedule, faults=faults, trace_limit=trace_limit
+    )
+    previous = _hooks.SANITIZER
+    _hooks.SANITIZER = sanitizer
+    try:
+        yield sanitizer
+    finally:
+        _hooks.SANITIZER = previous
+        if schedule is not None:
+            schedule.release_all()

@@ -1,0 +1,17 @@
+"""Global hook point for the protocol sanitizer.
+
+This module deliberately has **no imports** and holds exactly one mutable
+global: the currently installed sanitizer (or ``None``).  Every
+instrumented call site in the memory core guards its emission with::
+
+    if _san.SANITIZER is not None:
+        _san.SANITIZER.event("slot.valid", ...)
+
+so the cost with the sanitizer disabled is a single module-attribute load
+plus an identity comparison — effectively free next to the work the hot
+paths already do.  Use :func:`repro.sanitizer.enabled` (a context
+manager) rather than mutating ``SANITIZER`` directly.
+"""
+
+#: The active :class:`repro.sanitizer.invariants.Sanitizer`, or ``None``.
+SANITIZER = None

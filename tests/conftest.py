@@ -1,4 +1,9 @@
-"""Shared fixtures: memory managers and session-scoped TPC-H datasets."""
+"""Shared fixtures: memory managers and session-scoped TPC-H datasets.
+
+Running ``pytest --sanitize`` wraps every test in the protocol sanitizer
+(``repro.sanitizer``): all memory-protocol invariants are checked live and
+any violation fails the test with the offending event trace.
+"""
 
 from __future__ import annotations
 
@@ -6,6 +11,27 @@ import pytest
 
 from repro.memory.manager import MemoryManager
 from repro.tpch.datagen import generate
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--sanitize",
+        action="store_true",
+        default=False,
+        help="run every test under the memory-protocol sanitizer",
+    )
+
+
+@pytest.fixture(autouse=True)
+def _protocol_sanitizer(request):
+    if not request.config.getoption("--sanitize"):
+        yield None
+        return
+    from repro import sanitizer
+
+    with sanitizer.enabled() as san:
+        yield san
+        san.assert_clean()
 
 
 @pytest.fixture

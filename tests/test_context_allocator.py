@@ -10,8 +10,11 @@ from repro.memory.manager import MemoryManager
 
 class _FakeBlock:
     def __init__(self):
+        self.is_active = False
+        self.compacting = False
         self.queued_for_reclaim = False
         self.reclaim_ready_epoch = -1
+        self.block_id = 0
 
 
 def test_queue_push_pop_ready():

@@ -154,3 +154,73 @@ def test_epochs_monotonic_under_concurrent_advancers(epochs):
     for t in threads:
         t.join()
     assert all(seen)
+
+
+# ----------------------------------------------------------------------
+# Property: the protocol rules hold for arbitrary enter/exit/advance
+# sequences (hypothesis-driven)
+# ----------------------------------------------------------------------
+
+from hypothesis import given, settings, strategies as st
+
+from repro.memory import slots as slotcodec
+from repro.memory.epoch import SectionContext
+
+_N_FAKE_THREADS = 3
+
+#: (op, thread) pairs; op 0=enter 1=exit 2=advance 3=free
+_op_sequences = st.lists(
+    st.tuples(st.integers(0, 3), st.integers(0, _N_FAKE_THREADS - 1)),
+    max_size=60,
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(_op_sequences)
+def test_epoch_protocol_properties(ops):
+    """For any interleaving of enters, exits, advances and frees:
+
+    * the global epoch never regresses and advances by single steps;
+    * an advance succeeds iff no in-critical thread lags the epoch;
+    * a freed slot is reclaimable iff the global epoch reached ``e + 2``,
+      by which point every in-critical thread entered after the free.
+    """
+    em = EpochManager()
+    # Simulated threads: section contexts registered under fake thread ids
+    # (never equal to a real ident), driven exactly like enter/exit would.
+    fakes = [SectionContext() for __ in range(_N_FAKE_THREADS)]
+    for i, ctx in enumerate(fakes):
+        em._contexts[2**60 + i] = ctx
+    freed = []
+
+    for op, tid in ops:
+        ctx = fakes[tid]
+        before = em.global_epoch
+        if op == 0:  # enter (outermost refreshes the local epoch)
+            if ctx.depth == 0:
+                ctx.epoch = em.global_epoch
+            ctx.depth += 1
+        elif op == 1:  # exit
+            if ctx.depth > 0:
+                ctx.depth -= 1
+        elif op == 2:  # advance, from the (real) main thread
+            lagging = any(
+                c.depth > 0 and c.epoch < before for c in fakes
+            )
+            advanced = em.try_advance()
+            assert advanced == (not lagging)
+            assert em.global_epoch == before + (1 if advanced else 0)
+        else:  # free: a slot enters limbo stamped with the current epoch
+            freed.append(em.global_epoch)
+        assert em.global_epoch >= before  # never regresses
+
+    final = em.global_epoch
+    for e in freed:
+        word = slotcodec.pack(slotcodec.LIMBO, e)
+        assert slotcodec.is_reclaimable(word, final) == (final >= e + 2)
+        if final >= e + 2:
+            # No thread still inside a critical section can have begun it
+            # before the free became safe: reuse cannot race a reader.
+            assert all(
+                c.epoch >= e + 1 for c in fakes if c.depth > 0
+            )
