@@ -78,7 +78,12 @@ def _cmd_query(args: argparse.Namespace) -> int:
     if args.explain:
         print(query.explain())
     start = time.perf_counter()
-    result = query.run(engine=args.engine, params=DEFAULT_PARAMS)
+    result = query.run(
+        engine=args.engine,
+        params=DEFAULT_PARAMS,
+        workers=args.workers,
+        prune=not args.no_prune,
+    )
     elapsed = (time.perf_counter() - start) * 1000
     widths = [
         max(len(c), *(len(str(r[i])) for r in result.rows)) if result.rows else len(c)
@@ -146,6 +151,17 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--columnar", action="store_true")
     query.add_argument("--limit", type=int, default=25)
     query.add_argument("--explain", action="store_true")
+    query.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="morsel-parallel scan workers (vectorised engines only)",
+    )
+    query.add_argument(
+        "--no-prune",
+        action="store_true",
+        help="disable block-level zone-map pruning",
+    )
     query.set_defaults(fn=_cmd_query)
 
     bench = sub.add_parser("bench", help="run a figure bench (e.g. fig11)")

@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.errors import NullReferenceError, TabularTypeError
 from repro.memory import slots as slotcodec
+from repro.memory import zonemap as _zonemap
 from repro.memory.addressing import NULL_ADDRESS
 from repro.memory.context import MemoryContext
 from repro.memory.indirection import INC_MASK
@@ -91,6 +92,8 @@ class ColumnarBlock:
         "reclaim_ready_epoch",
         "relocation_list",
         "compaction_group",
+        "zones",
+        "zone_version",
     )
 
     def __init__(
@@ -130,6 +133,8 @@ class ColumnarBlock:
         self.reclaim_ready_epoch = -1
         self.relocation_list = None
         self.compaction_group = None
+        self.zones = None
+        self.zone_version = 0
 
     # -- address arithmetic: offset part IS the slot id ------------------
 
@@ -154,6 +159,7 @@ class ColumnarBlock:
         if prev == LIMBO:
             self.limbo_count -= 1
         self.valid_count += 1
+        self.zone_version += 1  # invalidate the zone map (see Block.mark_valid)
 
     def mark_limbo(self, slot: int, epoch: int) -> None:
         if _san.SANITIZER is not None:
@@ -286,6 +292,8 @@ class ColumnarHandle:
         try:
             block, slot = self._locate()
             collection._write_field(block, slot, field, value)
+            if _zonemap.is_zoned(field):
+                block.zone_version += 1  # invalidate the zone map
             if not isinstance(field, RefField):
                 collection._notify_field_update(
                     self._ref.entry, name, field.from_raw(field.to_raw(value))

@@ -41,6 +41,7 @@ import time
 from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
 
 from repro.errors import ConcurrencyProtocolError
+from repro.memory import zonemap
 from repro.memory.addressing import NULL_ADDRESS
 from repro.memory.indirection import FORWARD, FROZEN, INC_MASK, LOCKED
 from repro.memory.slots import VALID
@@ -114,18 +115,53 @@ class CompactionGroup:
         self.finished = False
         self.failed = False
         self.dest_attached = False
+        #: Set (under ``_lock``) once a mover has observed a drained query
+        #: counter and may start flipping slots; bars new pre-state pins.
+        self.moving = False
         self._counter = 0
         self._lock = threading.Lock()
         for block in sources:
             block.compaction_group = self
             block.relocation_list = []
+        if dest is not None:
+            # The destination carries the group marker from birth, so a
+            # scan that snapshots the block list while relocation is in
+            # flight routes the (partially filled) destination through
+            # group resolution instead of reading it as a plain block.
+            dest.compaction_group = self
+
+    # -- query read counter (section 5.2) ------------------------------
+
+    def members_prestate(self) -> List["Block"]:
+        """Every block holding live pre-state rows: the sources plus the
+        attached destination.  Moved rows sit VALID in the destination and
+        limbo in their source slot; unmoved rows are VALID in the sources
+        — together exactly one live copy of each object."""
+        blocks = list(self.sources)
+        if self.dest is not None and self.dest_attached:
+            blocks.append(self.dest)
+        return blocks
+
+    def begin_moving_if_unread(self) -> bool:
+        """Atomically check the query counter is drained and bar new pins.
+
+        The drain check and the transition to the moving state happen
+        under one lock, so a reader can never pin the pre-state after a
+        mover decided it is safe to start flipping slots.
+        """
+        with self._lock:
+            if self._counter > 0:
+                return False
+            self.moving = True
+            return True
 
     # -- query read counter (section 5.2) ------------------------------
 
     def try_pin_prestate(self) -> bool:
-        """Increment the query counter unless relocation already happened."""
+        """Increment the query counter unless relocation already happened
+        (or a mover has already observed a drained counter)."""
         with self._lock:
-            if self.finished or self.failed:
+            if self.finished or self.failed or self.moving:
                 return False
             self._counter += 1
             return True
@@ -152,9 +188,28 @@ class Compactor:
         self._cycle_lock = threading.Lock()
         #: (ready_epoch, block, context) of emptied blocks awaiting release.
         self._retired: List[Tuple[int, "Block"]] = []
+        #: (ready_epoch, group) of failed groups whose block markers must
+        #: stay up until every scan that snapshotted the block list before
+        #: the destination was attached has drained (two-epoch rule): such
+        #: a scan can only reach the moved rows by resolving the group.
+        self._unmark_after: List[Tuple[int, CompactionGroup]] = []
 
     def detach(self) -> None:
-        self.release_retired(force=True)
+        """Detach from the manager, draining deferred releases epoch-safely.
+
+        Retired source blocks (and failed groups' markers) may still be
+        visible to in-flight scans whose block-list snapshot predates the
+        relocation: scrubbing them now would turn them into empty plain
+        blocks under those scans and lose the relocated rows.  Instead,
+        wait out the two-epoch safety rule, advancing the global epoch
+        whenever the readers permit it.
+        """
+        while self._retired or self._unmark_after:
+            self.release_retired()
+            if not (self._retired or self._unmark_after):
+                break
+            if not self.manager.epochs.try_advance():
+                time.sleep(_SPIN_SLEEP)
         self.manager.compactor = None
 
     # ------------------------------------------------------------------
@@ -422,7 +477,7 @@ class Compactor:
         if group.finished or group.failed:
             return 0
         deadline = time.monotonic() + _READER_WAIT_TIMEOUT
-        while group.reader_count > 0:
+        while not group.begin_moving_if_unread():
             if time.monotonic() > deadline:
                 self._fail_group(group)
                 return 0
@@ -543,12 +598,29 @@ class Compactor:
         self.manager.stats.failed_relocations += not_done
         if group.dest is not None:
             group.dest.is_active = False
-        if (
-            group.dest is not None
-            and not group.dest_attached
-            and group.dest.valid_count == 0
-        ):
-            self.manager._release_block(group.dest)
+        if group.dest_attached:
+            # Some objects already moved: their only live copy is in the
+            # attached destination.  A scan that snapshotted the block
+            # list *before* the destination was attached reaches them
+            # only by resolving this group off a source block's marker
+            # (pre-state = sources + destination), so the markers must
+            # outlive every such scan — clear them two epochs from now,
+            # exactly like retired source blocks.
+            self._unmark_after.append(
+                (self.manager.epochs.global_epoch + 2, group)
+            )
+        else:
+            # Nothing moved: the sources hold every live object and the
+            # untouched destination can be recycled immediately.
+            if group.dest is not None and group.dest.valid_count == 0:
+                group.dest.compaction_group = None
+                self.manager._release_block(group.dest)
+            self._clear_group_markers(group)
+
+    def _clear_group_markers(self, group: CompactionGroup) -> None:
+        """Revert a settled failed group's blocks to ordinary blocks."""
+        if group.dest is not None:
+            group.dest.compaction_group = None
         for block in group.sources:
             block.compaction_group = None
             block.relocation_list = None
@@ -570,7 +642,19 @@ class Compactor:
             group.dest.is_active = False
         if group.dest is not None and not group.dest_attached:
             # Nothing was moved (empty group): recycle the destination.
+            group.dest.compaction_group = None
             self.manager._release_block(group.dest)
+        elif group.dest is not None:
+            # Relocation copied slot bytes without publishing through
+            # commit_slot, so the destination carried no statistics while
+            # the group was in flight (conservative: no pruning).  Now
+            # that its contents are final, compute exact bounds.
+            zonemap.rebuild(self.manager, group.dest)
+            # Contents are final: the destination becomes an ordinary
+            # block.  Scans that resolve the group through a source still
+            # reach it via ``group.dest``; the per-scan emitted set keeps
+            # it to one visit either way.
+            group.dest.compaction_group = None
         for block in group.sources:
             context.detach_block(block)
 
@@ -582,8 +666,20 @@ class Compactor:
             self._retired.append((ready, block))
 
     def release_retired(self, force: bool = False) -> int:
-        """Release retired source blocks whose safety epoch has passed."""
+        """Release retired source blocks whose safety epoch has passed.
+
+        Also clears the markers of failed groups whose two-epoch window
+        elapsed (see ``_fail_group``): their blocks become ordinary blocks
+        again and may be re-planned by the next cycle.
+        """
         epoch = self.manager.epochs.global_epoch
+        keep_groups: List[Tuple[int, CompactionGroup]] = []
+        for ready, group in self._unmark_after:
+            if force or ready <= epoch:
+                self._clear_group_markers(group)
+            else:
+                keep_groups.append((ready, group))
+        self._unmark_after = keep_groups
         keep: List[Tuple[int, "Block"]] = []
         released = 0
         for ready, block in self._retired:
@@ -655,15 +751,21 @@ class Compactor:
         returned (scan the pre-state sources instead).
         """
         deadline = time.monotonic() + _READER_WAIT_TIMEOUT
-        while group.reader_count > 0:
+        while not group.begin_moving_if_unread():
             if time.monotonic() > deadline:
                 self._fail_group(group)
                 return None
             time.sleep(_SPIN_SLEEP)
         for item in group.items:
             self._move_item_locked(item)
-        self._finish_group(group)
-        return group.dest
+        if all(item.status in (DONE, CANCELLED) for item in group.items):
+            self._finish_group(group)
+            return group.dest
+        # A reader bailed items out from under us: the group cannot be
+        # completed this round.  Fail it so the caller scans the pre-state
+        # (sources + attached destination) instead of a partial result.
+        self._fail_group(group)
+        return None
 
     # ------------------------------------------------------------------
     # Direct-pointer rewriting (section 6)

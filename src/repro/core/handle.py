@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Any, Dict, Optional
 
 from repro.errors import NullReferenceError
+from repro.memory import zonemap
 from repro.memory.addressing import NULL_ADDRESS
 from repro.memory.indirection import FLAG_MASK, FORWARD, INC_MASK
 from repro.schema.fields import RefField
@@ -113,6 +114,8 @@ class Handle:
                 collection.layout.write_field(
                     block.buf, off, name, value, manager
                 )
+                if zonemap.is_zoned(field):
+                    block.zone_version += 1  # invalidate the zone map
                 notify = getattr(collection, "_notify_field_update", None)
                 if notify is not None:
                     notify(self._ref.entry, name, field.from_raw(field.to_raw(value)))

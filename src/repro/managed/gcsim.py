@@ -199,20 +199,27 @@ def longest_timeout(
 # ----------------------------------------------------------------------
 
 
-def real_gc_probe(make_population, cycles: int = 3) -> float:
-    """Median wall-clock seconds of ``gc.collect()`` after *make_population*.
+def real_gc_probe(make_population, cycles: int = 5) -> float:
+    """Minimum wall-clock seconds of ``gc.collect()`` after *make_population*.
 
     ``make_population()`` must build and return the population (kept alive
     for the duration of the probe).  With records in a managed collection
     the cycle collector must visit every object; with rows in an SMC it
     only sees a handful of block buffers.
+
+    The cost of visiting the population is systematic — paid on every
+    cycle — while scheduler/CPU-contention noise is strictly additive, so
+    the minimum over several cycles estimates the true collection cost far
+    more robustly than a mean or median would.  A warm-up collect first
+    settles construction garbage into the old generation so every timed
+    cycle measures the same steady state.
     """
     population = make_population()
+    gc.collect()  # warm-up: flush construction garbage, settle generations
     timings = []
     for __ in range(cycles):
         start = time.perf_counter()
         gc.collect()
         timings.append(time.perf_counter() - start)
-    timings.sort()
     del population
-    return timings[len(timings) // 2]
+    return min(timings)

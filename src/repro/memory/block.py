@@ -77,6 +77,8 @@ class Block:
         "reclaim_ready_epoch",
         "relocation_list",
         "compaction_group",
+        "zones",
+        "zone_version",
     )
 
     def __init__(
@@ -159,6 +161,12 @@ class Block:
         # Compaction bookkeeping (section 5): populated by the compactor.
         self.relocation_list: Optional[list] = None
         self.compaction_group: Optional[object] = None
+        #: Per-block min/max statistics (``repro.memory.zonemap.ZoneMap``),
+        #: built lazily by the first pruning scan and validated against
+        #: ``zone_version``, which mutators bump on every slot publication
+        #: and zoned-field update.
+        self.zones = None
+        self.zone_version = 0
 
     # ------------------------------------------------------------------
     # Address arithmetic
@@ -189,6 +197,11 @@ class Block:
         if prev == LIMBO:
             self.limbo_count -= 1
         self.valid_count += 1
+        # Invalidate the zone map (after the directory write, so a map
+        # built under the new version has seen this slot).  Publication
+        # through mark_valid — allocation commits AND relocation copies —
+        # is exactly the set of writes zone maps must observe.
+        self.zone_version += 1
 
     def mark_limbo(self, slot: int, epoch: int) -> None:
         if _san.SANITIZER is not None:
@@ -290,6 +303,8 @@ class Block:
         self.reclaim_ready_epoch = -1
         self.relocation_list = None
         self.compaction_group = None
+        self.zones = None
+        self.zone_version = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

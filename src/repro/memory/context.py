@@ -13,6 +13,7 @@ from __future__ import annotations
 import threading
 from typing import TYPE_CHECKING, Iterator, List, Optional, Tuple
 
+from repro.memory import zonemap
 from repro.memory.allocator import ReclamationQueue, ThreadLocalBlocks
 from repro.memory.block import Block
 
@@ -124,7 +125,7 @@ class MemoryContext:
         """Publish a claimed slot: directory -> VALID, counters updated."""
         if block.state_of(slot) != 0:  # LIMBO slot recycled in place
             self.manager.stats.limbo_reuses += 1
-        block.mark_valid(slot)
+        block.mark_valid(slot)  # also invalidates the block's zone map
         self.live_count += 1
 
     def _retire_active_block(self, block: Block) -> None:
@@ -142,6 +143,8 @@ class MemoryContext:
         epoch = self.manager.epochs.global_epoch
         block.mark_limbo(slot, epoch)
         self.live_count -= 1
+        # Zone bounds stay (widen-only invariant); the map just goes stale.
+        zonemap.note_free(block)
         # Blocks actively used for allocation — by ANY thread, not just the
         # remover — are re-examined when retired; all other blocks join the
         # queue as soon as they cross the reclamation threshold.  (The

@@ -343,6 +343,8 @@ class Query:
         engine: str = "compiled",
         params: Optional[Dict[str, Any]] = None,
         flavor: Optional[str] = None,
+        workers: Optional[int] = None,
+        prune: Optional[bool] = None,
         **kwparams: Any,
     ) -> Result:
         """Execute the query and return a :class:`Result`.
@@ -351,8 +353,11 @@ class Query:
         ``"interpreted"`` (the LINQ-to-objects baseline).  ``flavor``
         overrides the compiled backend (e.g. ``"smc-safe"`` to model the
         paper's SMC (C#) series on a collection that defaults to the
-        unsafe backend).  Dynamic parameters may be passed via ``params=``
-        or as keyword arguments.
+        unsafe backend).  ``workers`` > 1 fans the scan out over the
+        morsel-parallel executor; ``prune=False`` disables block-level
+        zone-map pruning (both only affect the vectorised SMC backends).
+        Dynamic parameters may be passed via ``params=`` or as keyword
+        arguments.
         """
         merged = dict(params or {})
         merged.update(kwparams)
@@ -363,7 +368,13 @@ class Query:
         if engine == "compiled":
             from repro.query.compiler import run_compiled
 
-            return run_compiled(self, merged, flavor=flavor)
+            return run_compiled(
+                self,
+                merged,
+                flavor=flavor,
+                workers=workers,
+                prune=prune if prune is not None else True,
+            )
         raise ValueError(f"unknown engine {engine!r}")
 
     def explain(self, flavor: Optional[str] = None) -> str:

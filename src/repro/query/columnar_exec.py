@@ -33,6 +33,7 @@ from typing import Any, Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.errors import NullReferenceError
+from repro.memory import zonemap
 from repro.memory.addressing import NULL_ADDRESS
 from repro.memory.indirection import INC_MASK
 from repro.query.builder import (
@@ -47,7 +48,12 @@ from repro.query.builder import (
     Where,
     WhereIn,
 )
-from repro.query.compiler import CompileError, _field_dtype, _to_raw
+from repro.query.compiler import (
+    CompileError,
+    _field_dtype,
+    _to_raw,
+    derive_zone_tests,
+)
 from repro.query.expressions import (
     Between,
     BinOp,
@@ -122,20 +128,28 @@ def _column_of(manager, block, name: str) -> np.ndarray:
     return _row_view(block, layout, name)
 
 
-def run_columnar(query: Query, params: Dict[str, Any]) -> Result:
+def run_columnar(
+    query: Query,
+    params: Dict[str, Any],
+    workers: Optional[int] = None,
+    prune: bool = True,
+) -> Result:
     source = query.source
     manager = source.manager
 
     filters: List[Expr] = []
-    insets: List["_InsetProbe"] = []
+    inset_ops: List[Tuple[WhereIn, Result]] = []
     terminal = None
     post: List[Any] = []
     for op in query.ops:
         if isinstance(op, Where):
             filters.append(op.pred)
         elif isinstance(op, WhereIn):
+            # Subqueries are materialised up front on the driver thread;
+            # each scan worker probes its own _InsetProbe over the shared
+            # (read-only) subquery result.
             sub = op.subquery.run(engine="compiled", params=params)
-            insets.append(_InsetProbe(op, sub))
+            inset_ops.append((op, sub))
         elif isinstance(op, (Select, GroupBy)):
             if terminal is not None:
                 raise CompileError("only one projection/aggregation allowed")
@@ -151,32 +165,27 @@ def run_columnar(query: Query, params: Dict[str, Any]) -> Result:
     # reordering the paper's query compiler performs statically.
     filters.sort(key=_nav_depth)
 
-    acc = _Accumulator(terminal)
-    manager.epochs.enter_critical_section()
-    try:
-        for block in scan_blocks(manager, source.context):
-            ctx = _BlockCtx(manager, source, block, params)
-            if ctx.idx.size == 0:
-                continue
-            ok = True
-            for pred in filters:
-                arr, __ = ctx.eval(pred)
-                keep = np.asarray(arr, dtype=bool)
-                ctx.refine(keep)
-                if ctx.idx.size == 0:
-                    ok = False
-                    break
-            if ok:
-                for probe in insets:
-                    keep = probe.mask(ctx)
-                    ctx.refine(keep)
-                    if ctx.idx.size == 0:
-                        ok = False
-                        break
-            if ok and ctx.idx.size:
-                acc.absorb(ctx)
-    finally:
-        manager.epochs.exit_critical_section()
+    zone_tests = derive_zone_tests(filters, params) if prune else []
+    plan = _ScanPlan(
+        manager, source, params, filters, inset_ops, terminal, zone_tests
+    )
+
+    nworkers = max(1, int(workers or 1))
+    if nworkers > 1:
+        from repro.query.parallel import run_parallel
+
+        acc, pruned, scanned = run_parallel(plan, nworkers)
+    else:
+        acc, pruned, scanned = _run_serial(plan)
+
+    if zone_tests:
+        extra = manager.stats.extra
+        extra["zone_pruned_blocks"] = (
+            extra.get("zone_pruned_blocks", 0) + pruned
+        )
+        extra["zone_scanned_blocks"] = (
+            extra.get("zone_scanned_blocks", 0) + scanned
+        )
 
     columns, rows = acc.finish(manager)
     for op in post:
@@ -191,6 +200,99 @@ def run_columnar(query: Query, params: Dict[str, Any]) -> Result:
         elif isinstance(op, Distinct):
             rows = Distinct.apply(rows)
     return Result(columns, rows)
+
+
+class _ScanPlan:
+    """Everything a scan worker needs to process one block.
+
+    Shared (read-only) between the serial path and the parallel morsel
+    workers; the only per-worker state is the ``_InsetProbe`` list (its
+    lazily materialised key sets are not thread-safe) and the partial
+    :class:`_Accumulator` each worker folds blocks into.
+    """
+
+    __slots__ = (
+        "manager",
+        "source",
+        "params",
+        "filters",
+        "inset_ops",
+        "terminal",
+        "zone_tests",
+    )
+
+    def __init__(
+        self, manager, source, params, filters, inset_ops, terminal, zone_tests
+    ) -> None:
+        self.manager = manager
+        self.source = source
+        self.params = params
+        self.filters = filters
+        self.inset_ops = inset_ops
+        self.terminal = terminal
+        self.zone_tests = zone_tests
+
+    def make_probes(self) -> List["_InsetProbe"]:
+        return [_InsetProbe(op, sub) for op, sub in self.inset_ops]
+
+    def make_accumulator(self) -> "_Accumulator":
+        return _Accumulator(self.terminal)
+
+    def admits(self, block) -> bool:
+        """Zone-map test: may *block* contain rows satisfying the filters?
+
+        Blocks without current statistics (blocks being filled, empty
+        blocks, builds raced by a writer) are always admitted — zone
+        pruning is strictly an optimisation over the conservative answer.
+        The map itself is built lazily here, amortised across scans:
+        writers only bump the block's version counter.
+        """
+        if not self.zone_tests:
+            return True
+        zones = zonemap.ensure(self.manager, block)
+        if zones is None:
+            return True
+        lo, hi = zones.lo, zones.hi
+        for test in self.zone_tests:
+            blo = lo.get(test.name)
+            if blo is not None and not test.admits(blo, hi[test.name]):
+                return False
+        return True
+
+    def process_block(self, block, probes, acc: "_Accumulator") -> None:
+        """Run the filter kernels over *block*, folding rows into *acc*."""
+        ctx = _BlockCtx(self.manager, self.source, block, self.params)
+        if ctx.idx.size == 0:
+            return
+        for pred in self.filters:
+            arr, __ = ctx.eval(pred)
+            ctx.refine(np.asarray(arr, dtype=bool))
+            if ctx.idx.size == 0:
+                return
+        for probe in probes:
+            ctx.refine(probe.mask(ctx))
+            if ctx.idx.size == 0:
+                return
+        acc.absorb(ctx)
+
+
+def _run_serial(plan: _ScanPlan) -> Tuple["_Accumulator", int, int]:
+    """Single-threaded scan: one critical section over all blocks."""
+    manager = plan.manager
+    acc = plan.make_accumulator()
+    probes = plan.make_probes()
+    pruned = scanned = 0
+    manager.epochs.enter_critical_section()
+    try:
+        for block in scan_blocks(manager, plan.source.context):
+            if not plan.admits(block):
+                pruned += 1
+                continue
+            scanned += 1
+            plan.process_block(block, probes, acc)
+    finally:
+        manager.epochs.exit_critical_section()
+    return acc, pruned, scanned
 
 
 def _nav_depth(expr: Expr) -> int:
@@ -654,11 +756,25 @@ class _Accumulator:
             agg_dtypes.append(dtype)
             if agg.kind in ("sum", "avg"):
                 if arr.dtype.kind in "iu":
-                    sums = np.zeros(nuniq, dtype=np.int64)
-                    np.add.at(sums, inverse, arr)
+                    # Dense-group-code scatter: np.add.at is an unbuffered
+                    # (hence slow) scatter; bincount-with-weights is the
+                    # vectorised fast path.  Weights accumulate in
+                    # float64, exact only below 2**53, so guard on the
+                    # worst-case partial-sum magnitude.
+                    amax = (
+                        max(abs(int(arr.min())), abs(int(arr.max())))
+                        if arr.size
+                        else 0
+                    )
+                    if arr.size * max(amax, 1) < 2 ** 53:
+                        sums = np.bincount(
+                            inverse, weights=arr, minlength=nuniq
+                        ).astype(np.int64)
+                    else:
+                        sums = np.zeros(nuniq, dtype=np.int64)
+                        np.add.at(sums, inverse, arr)
                 else:
-                    sums = np.zeros(nuniq, dtype=np.float64)
-                    np.add.at(sums, inverse, arr)
+                    sums = np.bincount(inverse, weights=arr, minlength=nuniq)
                 for g in range(nuniq):
                     partials[g].append((agg.kind, (sums[g].item(), int(counts[g]))))
             elif agg.kind == "min":
@@ -700,6 +816,38 @@ class _Accumulator:
         if kind == "avg":
             return [value[0], value[1]]
         return value  # count / min / max
+
+    def merge(self, other: "_Accumulator") -> None:
+        """Fold another partial accumulator into this one (barrier merge).
+
+        The parallel executor gives every morsel its own accumulator and
+        merges them in block order, so rows concatenate and group cells
+        combine exactly as the serial scan would have produced them.
+        """
+        self.rows.extend(other.rows)
+        if other.key_dtypes is not None:
+            self.key_dtypes = other.key_dtypes
+            self.agg_dtypes = other.agg_dtypes
+        if not other.groups:
+            return
+        kinds = [agg.kind for __, agg in self.terminal.aggs]
+        for key, cells in other.groups.items():
+            mine = self.groups.get(key)
+            if mine is None:
+                self.groups[key] = cells
+                continue
+            for i, kind in enumerate(kinds):
+                if kind in ("sum", "count"):
+                    mine[i] += cells[i]
+                elif kind == "avg":
+                    mine[i][0] += cells[i][0]
+                    mine[i][1] += cells[i][1]
+                elif kind == "min":
+                    if cells[i] < mine[i]:
+                        mine[i] = cells[i]
+                else:  # max
+                    if cells[i] > mine[i]:
+                        mine[i] = cells[i]
 
     @staticmethod
     def _merge_cell(acc: list, i: int, kind: str, value) -> None:

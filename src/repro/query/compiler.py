@@ -114,7 +114,11 @@ def flavor_for(source: Any) -> str:
 
 
 def run_compiled(
-    query: Query, params: Dict[str, Any], flavor: Optional[str] = None
+    query: Query,
+    params: Dict[str, Any],
+    flavor: Optional[str] = None,
+    workers: Optional[int] = None,
+    prune: bool = True,
 ) -> Result:
     flavor = flavor or flavor_for(query.source)
     if flavor in ("columnar", "smc-unsafe"):
@@ -124,7 +128,7 @@ def run_compiled(
         # "smc-unsafe-scalar" ablation flavour.
         from repro.query.columnar_exec import run_columnar
 
-        return run_columnar(query, params)
+        return run_columnar(query, params, workers=workers, prune=prune)
     if flavor == "smc-unsafe-scalar":
         flavor = "smc-unsafe"
     compiled = get_compiled(query, flavor)
@@ -219,6 +223,180 @@ def _field_dtype(field: Field) -> Tuple[str, Any]:
     if isinstance(field, RefField):
         return ("ref", None)
     return ("int", None)
+
+
+# ----------------------------------------------------------------------
+# Zone-test derivation (block-level pruning, see repro.memory.zonemap)
+# ----------------------------------------------------------------------
+
+
+class ZoneTest:
+    """One predicate lowered to an interval test over a block's zone.
+
+    ``admits(lo, hi)`` answers: *may* a value in ``[lo, hi]`` (the
+    block's observed bounds for ``name``) satisfy the predicate?  False
+    lets the scan skip the block without touching its memory.  Tests are
+    derived only from conjunctive predicates over un-navigated fields,
+    and raw-value conversion must be exact — anything else simply yields
+    no test (pruning is an optimisation, never a semantics change).
+    """
+
+    __slots__ = ("name", "vlo", "vhi", "lo_strict", "hi_strict", "negated")
+
+    def __init__(
+        self,
+        name: str,
+        vlo,
+        vhi,
+        lo_strict: bool = False,
+        hi_strict: bool = False,
+        negated: bool = False,
+    ) -> None:
+        self.name = name
+        self.vlo = vlo
+        self.vhi = vhi
+        self.lo_strict = lo_strict
+        self.hi_strict = hi_strict
+        self.negated = negated
+
+    def admits(self, lo, hi) -> bool:
+        if self.negated:
+            # `!= v`: only a constant block pinned to v cannot match.
+            return not (lo == hi == self.vlo)
+        if self.vlo is not None:
+            if hi < self.vlo or (self.lo_strict and hi <= self.vlo):
+                return False
+        if self.vhi is not None:
+            if lo > self.vhi or (self.hi_strict and lo >= self.vhi):
+                return False
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        lob = "(" if self.lo_strict else "["
+        hib = ")" if self.hi_strict else "]"
+        if self.negated:
+            return f"<ZoneTest {self.name} != {self.vlo}>"
+        return f"<ZoneTest {self.name} in {lob}{self.vlo}, {self.vhi}{hib}>"
+
+
+def derive_zone_tests(
+    predicates: List[Expr], params: Dict[str, Any]
+) -> List[ZoneTest]:
+    """Lower a conjunction of filter predicates to block zone tests."""
+    tests: List[ZoneTest] = []
+    for pred in predicates:
+        _derive_zone_test(pred, params, tests)
+    return tests
+
+
+def _derive_zone_test(
+    expr: Expr, params: Dict[str, Any], out: List[ZoneTest]
+) -> None:
+    if isinstance(expr, BoolOp) and expr.op == "and":
+        for part in expr.parts:
+            _derive_zone_test(part, params, out)
+        return
+    if isinstance(expr, Cmp):
+        field, value, op = None, None, expr.op
+        if _zone_field(expr.left) is not None:
+            field = _zone_field(expr.left)
+            value = _literal(expr.right, params)
+        elif _zone_field(expr.right) is not None:
+            field = _zone_field(expr.right)
+            value = _literal(expr.left, params)
+            op = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}.get(op, op)
+        if field is None or value is _NO_LITERAL:
+            return
+        raw = _zone_raw(value, _field_dtype(field))
+        if raw is None:
+            return
+        name = field.name
+        if op == "==":
+            out.append(ZoneTest(name, raw, raw))
+        elif op == "!=":
+            out.append(ZoneTest(name, raw, raw, negated=True))
+        elif op == "<":
+            out.append(ZoneTest(name, None, raw, hi_strict=True))
+        elif op == "<=":
+            out.append(ZoneTest(name, None, raw))
+        elif op == ">":
+            out.append(ZoneTest(name, raw, None, lo_strict=True))
+        elif op == ">=":
+            out.append(ZoneTest(name, raw, None))
+        return
+    if isinstance(expr, Between):
+        field = _zone_field(expr.inner)
+        if field is None:
+            return
+        lo = _literal(expr.lo, params)
+        hi = _literal(expr.hi, params)
+        if lo is _NO_LITERAL or hi is _NO_LITERAL:
+            return
+        spec = _field_dtype(field)
+        rlo, rhi = _zone_raw(lo, spec), _zone_raw(hi, spec)
+        if rlo is None or rhi is None:
+            return
+        out.append(ZoneTest(field.name, rlo, rhi))
+        return
+    if isinstance(expr, InSet):
+        field = _zone_field(expr.inner)
+        if field is None or not expr.values:
+            return
+        spec = _field_dtype(field)
+        raws = [_zone_raw(v, spec) for v in expr.values]
+        if any(r is None for r in raws):
+            return
+        # Conservative envelope of the probe set.
+        out.append(ZoneTest(field.name, min(raws), max(raws)))
+
+
+def _zone_field(expr: Expr) -> Optional[Field]:
+    """The un-navigated zoned field *expr* reads, if it is exactly that."""
+    from repro.memory.zonemap import is_zoned
+
+    if isinstance(expr, FieldRef) and not expr.steps and is_zoned(expr.field):
+        return expr.field
+    return None
+
+
+_NO_LITERAL = object()
+
+
+def _literal(expr: Expr, params: Dict[str, Any]):
+    if isinstance(expr, Const):
+        return expr.value
+    if isinstance(expr, Param):
+        return params.get(expr.name, _NO_LITERAL)
+    return _NO_LITERAL
+
+
+def _zone_raw(value: Any, spec: Tuple[str, Any]):
+    """Exact raw-domain image of a literal, or ``None`` if unconvertible.
+
+    Comparisons must hold in the raw domain exactly; a scaled decimal
+    that does not land on an integer is kept as an (exact) ``Decimal``
+    so Python's numeric ordering against int bounds stays precise.
+    """
+    kind, meta = spec
+    if isinstance(value, bool):
+        value = int(value)
+    if kind == "date":
+        return date_to_days(value) if isinstance(value, _dt.date) else None
+    if kind == "decimal":
+        if isinstance(value, Decimal):
+            scaled = value.scaleb(meta)
+            i = int(scaled)
+            return i if scaled == i else scaled
+        if isinstance(value, int):
+            return value * 10 ** meta
+        if isinstance(value, float):
+            scaled = Decimal(value).scaleb(meta)
+            i = int(scaled)
+            return i if scaled == i else scaled
+        return None
+    if kind in ("int", "float"):
+        return value if isinstance(value, (int, float)) else None
+    return None
 
 
 class _Compiled:
