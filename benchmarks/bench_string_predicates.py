@@ -1,0 +1,194 @@
+"""Dictionary-encoded string predicate sweep (standalone bench).
+
+Loads the same TPC-H dataset twice — dictionary encoding on and off
+(the ``--no-dict`` ablation) — and times string-heavy queries on both:
+
+* ``contains`` / ``prefix`` — substring predicates over the lineitem
+  comment column.  With the dictionary these evaluate once over the
+  distinct values and scan as ``np.isin`` over int codes; without it
+  every block's strings are materialised before ``np.char`` kernels run;
+* ``eq`` / ``inset`` — point and set probes using comments sampled from
+  the generated data (so they actually select rows);
+* ``groupby`` — grouping parts by their varstring name (dense-code
+  group keys vs. decoded-string keys);
+* ``q2`` / ``q14`` — the TPC-H queries whose predicates are
+  string-dominated (navigated ``contains``/``startswith``).
+
+Every dictionary-encoded run is checked for result equality against the
+no-dict baseline; a mismatch is a hard failure (exit code 1), timings
+never are.  The full sweep writes ``BENCH_string_dict.json`` at the
+repo root; ``--smoke`` runs a reduced matrix (tiny scale factor, no
+JSON) for CI.
+
+Run as::
+
+    PYTHONPATH=src python benchmarks/bench_string_predicates.py [--smoke]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _canonical(result):
+    """Order-insensitive comparison form of a query result."""
+    return (tuple(result.columns), sorted(map(tuple, result.rows)))
+
+
+def _queries(collections, sample_comments):
+    from repro.query.builder import Count, Sum
+    from repro.tpch.queries import EXTRA_QUERIES, QUERIES
+    from repro.tpch.schema import Lineitem as L
+    from repro.tpch.schema import Part as P
+
+    lineitem = collections["lineitem"]
+    return {
+        "contains": lineitem.query()
+        .where(L.comment.contains("fox"))
+        .aggregate(n=Count(), qty=Sum(L.quantity)),
+        "prefix": lineitem.query()
+        .where(L.comment.startswith("express"))
+        .aggregate(n=Count(), qty=Sum(L.quantity)),
+        "eq": lineitem.query()
+        .where(L.comment == sample_comments[0])
+        .aggregate(n=Count()),
+        "inset": lineitem.query()
+        .where(L.comment.isin(sample_comments))
+        .aggregate(n=Count()),
+        "groupby": collections["part"]
+        .query()
+        .where(P.name.contains("anodized"))
+        .group_by(name=P.name)
+        .aggregate(n=Count()),
+        "q2": QUERIES["q2"](collections),
+        "q14": EXTRA_QUERIES["q14"](collections),
+    }
+
+
+def run_sweep(sf, repeat, smoke):
+    from repro.bench.harness import time_callable
+    from repro.tpch.datagen import generate
+    from repro.tpch.loader import load_smc
+    from repro.tpch.queries import DEFAULT_PARAMS
+
+    print(f"generating TPC-H SF={sf} ...", flush=True)
+    data = generate(sf, seed=42)
+    # Probe values must exist in the data for eq/inset to select rows.
+    sample_comments = sorted({row["comment"] for row in data.lineitem})[:3]
+
+    loaded = {
+        "dict": load_smc(data, columnar=True, string_dict=True),
+        "nodict": load_smc(data, columnar=True, string_dict=False),
+    }
+    queries = {
+        mode: _queries(collections, sample_comments)
+        for mode, collections in loaded.items()
+    }
+    names = list(queries["dict"])
+    if smoke:
+        names = ["contains", "prefix", "inset", "q14"]
+
+    records = []
+    mismatches = 0
+    for name in names:
+        base_result = queries["nodict"][name].run(
+            params=DEFAULT_PARAMS, workers=1, prune=True
+        )
+        base_rows = _canonical(base_result)
+        base_time = None
+        for mode in ("nodict", "dict"):
+            query = queries[mode][name]
+            result = query.run(params=DEFAULT_PARAMS, workers=1, prune=True)
+            match = _canonical(result) == base_rows
+            if not match:
+                mismatches += 1
+                print(f"RESULT MISMATCH: {name} mode={mode}", file=sys.stderr)
+            seconds = time_callable(
+                lambda q=query: q.run(
+                    params=DEFAULT_PARAMS, workers=1, prune=True
+                ),
+                repeat=repeat,
+            )
+            if mode == "nodict":
+                base_time = seconds
+            record = {
+                "query": name,
+                "string_dict": mode == "dict",
+                "seconds": round(seconds, 6),
+                "speedup_vs_nodict": round(base_time / seconds, 3),
+                "rows": len(result.rows),
+                "matches_baseline": match,
+            }
+            records.append(record)
+            print(
+                f"  {name:<10} dict={int(record['string_dict'])} "
+                f"{seconds * 1000:8.1f} ms  "
+                f"x{record['speedup_vs_nodict']:<6} "
+                f"rows {record['rows']}",
+                flush=True,
+            )
+    for collections in loaded.values():
+        collections["_manager"].close()
+    return records, mismatches
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--sf", type=float, default=None, help="TPC-H scale factor")
+    parser.add_argument("--repeat", type=int, default=3)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="reduced matrix for CI: correctness gate only, no JSON output",
+    )
+    parser.add_argument(
+        "--out", default=str(REPO_ROOT / "BENCH_string_dict.json")
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        sf = args.sf or 0.002
+        repeat = 1
+    else:
+        sf = args.sf or float(os.environ.get("REPRO_BENCH_SF", 0.02))
+        repeat = args.repeat
+
+    records, mismatches = run_sweep(sf, repeat, args.smoke)
+
+    if not args.smoke:
+        payload = {
+            "bench": "string_dict",
+            "scale_factor": sf,
+            "cpu_count": os.cpu_count(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "note": (
+                "speedup_vs_nodict compares dictionary-encoded string "
+                "kernels (code-space np.isin / dense-code group keys) "
+                "against the --no-dict ablation, which materialises and "
+                "tests the actual string bytes.  Both sides run serial "
+                "with zone pruning enabled."
+            ),
+            "results": records,
+        }
+        Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {args.out}")
+
+    if mismatches:
+        print(f"{mismatches} configuration(s) diverged from baseline", file=sys.stderr)
+        return 1
+    print("all configurations matched the no-dict baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

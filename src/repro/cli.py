@@ -38,7 +38,9 @@ def _cmd_gen(args: argparse.Namespace) -> int:
     print(f"generating TPC-H data at SF={args.sf} (seed {args.seed}) ...")
     start = time.perf_counter()
     data = generate(args.sf, seed=args.seed)
-    collections = load_smc(data, columnar=args.columnar)
+    collections = load_smc(
+        data, columnar=args.columnar, string_dict=not args.no_dict
+    )
     rows = save_collections(args.out, collections)
     elapsed = time.perf_counter() - start
     counts = ", ".join(f"{k}={v}" for k, v in data.row_counts().items())
@@ -49,7 +51,9 @@ def _cmd_gen(args: argparse.Namespace) -> int:
 def _cmd_info(args: argparse.Namespace) -> int:
     from repro.io.snapshot import load_collections
 
-    collections = load_collections(args.snapshot, columnar=args.columnar)
+    collections = load_collections(
+        args.snapshot, columnar=args.columnar, string_dict=not args.no_dict
+    )
     manager = collections.pop("_manager")
     print(f"snapshot {args.snapshot}:")
     for name, coll in collections.items():
@@ -73,7 +77,9 @@ def _cmd_query(args: argparse.Namespace) -> int:
         known = sorted(QUERIES) + sorted(EXTRA_QUERIES)
         print(f"unknown query {args.query!r}; choose from {known}", file=sys.stderr)
         return 2
-    collections = load_collections(args.snapshot, columnar=args.columnar)
+    collections = load_collections(
+        args.snapshot, columnar=args.columnar, string_dict=not args.no_dict
+    )
     query = builder(collections)
     if args.explain:
         print(query.explain())
@@ -135,11 +141,17 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--seed", type=int, default=42)
     gen.add_argument("--out", default="tpch.smcsnap")
     gen.add_argument("--columnar", action="store_true")
+    gen.add_argument(
+        "--no-dict",
+        action="store_true",
+        help="disable dictionary encoding for varstring columns (ablation)",
+    )
     gen.set_defaults(fn=_cmd_gen)
 
     info = sub.add_parser("info", help="describe a snapshot")
     info.add_argument("snapshot")
     info.add_argument("--columnar", action="store_true")
+    info.add_argument("--no-dict", action="store_true")
     info.set_defaults(fn=_cmd_info)
 
     query = sub.add_parser("query", help="run a TPC-H query on a snapshot")
@@ -161,6 +173,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-prune",
         action="store_true",
         help="disable block-level zone-map pruning",
+    )
+    query.add_argument(
+        "--no-dict",
+        action="store_true",
+        help="disable dictionary encoding for varstring columns (ablation)",
     )
     query.set_defaults(fn=_cmd_query)
 

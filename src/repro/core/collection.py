@@ -98,7 +98,19 @@ class Collection:
         if registry is None:
             registry = {}
             self.manager.collections = registry  # type: ignore[attr-defined]
-        registry.setdefault(schema.__name__, self)
+        primary = registry.setdefault(schema.__name__, self)
+        # Per-collection string dictionary (shared by collections of the
+        # same schema on one manager, since fields resolve it by schema
+        # name through the registry).
+        if primary is not self:
+            self.strdict = primary.strdict
+        elif self.layout.var_fields and getattr(self.manager, "string_dict", True):
+            from repro.memory.stringheap import StringDict
+
+            self.strdict = StringDict(self.manager.strings, self.manager.epochs)
+        else:
+            self.strdict = None
+        self.context.strdict = self.strdict
         if auto_compact_occupancy is not None and not (
             0.0 < auto_compact_occupancy < 1.0
         ):

@@ -51,9 +51,15 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.memory.addressing import AddressSpace
 
 
-def column_dtype(field: Field) -> Union[np.dtype, str]:
-    """NumPy dtype storing *field*'s raw representation in a column."""
-    if isinstance(field, (DecimalField, Int64Field, VarStringField)):
+def column_dtype(field: Field, dict_codes: bool = False) -> Union[np.dtype, str]:
+    """NumPy dtype storing *field*'s raw representation in a column.
+
+    With *dict_codes*, varstring columns hold fixed-width dictionary codes
+    (int32) instead of 8-byte string-heap addresses.
+    """
+    if isinstance(field, VarStringField):
+        return np.int32 if dict_codes else np.int64
+    if isinstance(field, (DecimalField, Int64Field)):
         return np.int64
     if isinstance(field, (DateField, Int32Field)):
         return np.int32
@@ -102,6 +108,7 @@ class ColumnarBlock:
         layout,
         type_id: int,
         context_id: int,
+        dict_fields: frozenset = frozenset(),
     ) -> None:
         self.space = space
         self.block_id = space.register(self)
@@ -120,7 +127,9 @@ class ColumnarBlock:
                 self.columns[f.name + "__w"] = np.full(n, NULL_ADDRESS, np.int64)
                 self.columns[f.name + "__i"] = np.zeros(n, np.uint32)
             else:
-                self.columns[f.name] = np.zeros(n, dtype=column_dtype(f))
+                self.columns[f.name] = np.zeros(
+                    n, dtype=column_dtype(f, f.name in dict_fields)
+                )
         self.directory = np.zeros(n, dtype=np.uint32)
         self.backptrs = np.full(n, -1, dtype=np.int64)
         self.slot_incs = np.zeros(n, dtype=np.uint32)
@@ -277,6 +286,9 @@ class ColumnarHandle:
         if isinstance(field, CharField):
             return bytes(raw).rstrip(b" \x00").decode("utf-8")
         if isinstance(field, VarStringField):
+            sd = collection.strdict
+            if sd is not None:
+                return sd.text_of(int(raw))
             return manager.strings.read(int(raw))
         return field.from_raw(
             raw.item() if isinstance(raw, np.generic) else raw
@@ -322,9 +334,14 @@ class ColumnarCollection(Collection):
         mgr = self.manager
         type_id = self.context.type_id
         context = self.context
+        dict_fields = (
+            frozenset(f.name for f in layout.var_fields)
+            if self.strdict is not None
+            else frozenset()
+        )
         #: Columnar contexts build columnar blocks instead of row blocks.
         context.block_factory = lambda: ColumnarBlock(
-            mgr.space, layout, type_id, context.context_id
+            mgr.space, layout, type_id, context.context_id, dict_fields
         )
 
     # -- row construction --------------------------------------------------
@@ -371,12 +388,17 @@ class ColumnarCollection(Collection):
             block.columns[field.name][slot] = data
             return
         if isinstance(field, VarStringField):
+            text = "" if value is None else str(value)
+            sd = self.strdict
             old = int(block.columns[field.name][slot])
+            if sd is not None:
+                if old > 0:
+                    sd.release(old)
+                block.columns[field.name][slot] = sd.intern(text)
+                return
             if old != NULL_ADDRESS and old != 0:
                 manager.strings.free(old)
-            block.columns[field.name][slot] = manager.strings.alloc(
-                "" if value is None else str(value)
-            )
+            block.columns[field.name][slot] = manager.strings.alloc(text)
             return
         block.columns[field.name][slot] = field.to_raw(value)
 
@@ -388,10 +410,15 @@ class ColumnarCollection(Collection):
             address = ref.address()
             block = self.manager.space.block_at(address)
             slot = block.slot_of_address(address)
+            sd = self.strdict
             for field in self.layout.var_fields:
-                addr = int(block.columns[field.name][slot])
-                if addr != NULL_ADDRESS and addr != 0:
-                    self.manager.strings.free(addr)
+                raw = int(block.columns[field.name][slot])
+                if sd is not None:
+                    if raw > 0:
+                        sd.release(raw)
+                    block.columns[field.name][slot] = 0
+                elif raw != NULL_ADDRESS and raw != 0:
+                    self.manager.strings.free(raw)
                     block.columns[field.name][slot] = NULL_ADDRESS
             self.manager.free_object(ref)
         finally:

@@ -160,14 +160,18 @@ def load_collections(
     path: str,
     manager: Optional[MemoryManager] = None,
     columnar: bool = False,
+    string_dict: bool = True,
 ) -> Dict[str, Any]:
     """Load a snapshot into fresh collections on *manager*.
 
     Returns name → collection (plus ``"_manager"``).  Tabular classes are
     resolved by name through the schema registry and validated against
-    the stored field specification.
+    the stored field specification.  Snapshots store decoded text, so a
+    file written with dictionary encoding on reloads fine with it off
+    (and vice versa); ``string_dict`` only shapes the fresh manager and
+    is ignored when an explicit *manager* is supplied.
     """
-    manager = manager or MemoryManager()
+    manager = manager or MemoryManager(string_dict=string_dict)
     factory = ColumnarCollection if columnar else Collection
     # Tabular classes are resolved by name: user-defined classes must be
     # imported before loading.  The built-in TPC-H schema registers here

@@ -78,6 +78,7 @@ class MemoryManager:
         block_shift: int = DEFAULT_MANAGER_BLOCK_SHIFT,
         reclamation_threshold: float = DEFAULT_RECLAMATION_THRESHOLD,
         direct_pointers: bool = False,
+        string_dict: bool = True,
     ) -> None:
         if not 0.0 <= reclamation_threshold <= 1.0:
             raise ValueError("reclamation_threshold must be within [0, 1]")
@@ -85,6 +86,9 @@ class MemoryManager:
         self.epochs = EpochManager()
         self.table = IndirectionTable()
         self.strings = StringHeap(self.space, self.epochs)
+        #: Dictionary-encode varstring columns: collections intern distinct
+        #: strings and store dense int codes instead of heap addresses.
+        self.string_dict = string_dict
         self.reclamation_threshold = reclamation_threshold
         #: Direct-pointer mode (section 6): references *between* SMCs store
         #: raw addresses and incarnation checks use the slot header.
@@ -352,7 +356,19 @@ class MemoryManager:
             f"  indirection table: {self.table.size} entries "
             f"({self.table.free_count} free, {self.table.retired_count} retired)",
             f"  string heap: {self.strings.block_count} blocks, "
-            f"{self.strings.bytes_in_use} bytes in use",
+            f"{self.strings.bytes_in_use} bytes in use"
+            + (
+                f", {sum(d.live_count for d in dicts)} interned "
+                f"across {len(dicts)} dictionaries"
+                if (
+                    dicts := {
+                        id(sd): sd
+                        for c in getattr(self, "collections", {}).values()
+                        if (sd := getattr(c, "strdict", None)) is not None
+                    }.values()
+                )
+                else ""
+            ),
             f"  stats: {self.stats.allocations} allocs, {self.stats.frees} "
             f"frees, {self.stats.limbo_reuses} limbo reuses, "
             f"{self.stats.blocks_recycled} blocks recycled, "

@@ -23,8 +23,11 @@ two-epoch rule as object slots.
 from __future__ import annotations
 
 import struct
+import threading
 from collections import deque
-from typing import TYPE_CHECKING, Deque, Dict, List, Tuple
+from typing import TYPE_CHECKING, Deque, Dict, FrozenSet, List, Optional, Tuple
+
+import numpy as np
 
 from repro.memory.addressing import NULL_ADDRESS
 
@@ -131,6 +134,15 @@ class StringHeap:
             "utf-8"
         )
 
+    def read_bytes(self, addr: int) -> bytes:
+        """Raw utf-8 payload at *addr* without the decode step."""
+        if addr == NULL_ADDRESS:
+            return b""
+        block = self._space.block_at(addr)
+        off = self._space.offset_of(addr)
+        (length,) = _LEN.unpack_from(block.buf, off)
+        return bytes(block.buf[off + _LEN.size : off + _LEN.size + length])
+
     def free(self, addr: int) -> None:
         """Schedule the record at *addr* for reuse (two-epoch delay)."""
         if addr == NULL_ADDRESS:
@@ -160,3 +172,177 @@ class StringHeap:
         self._free.clear()
         self._limbo.clear()
         self.bytes_in_use = 0
+
+
+class StringDict:
+    """Refcounted per-collection intern table layered on the string heap.
+
+    Each distinct string stored by a collection gets a small dense integer
+    *code*; object slots and columnar string columns store the code instead
+    of a heap address.  The payload bytes still live in heap records (one per
+    distinct value), so the heap's accounting and reclamation discipline is
+    unchanged — the dictionary merely deduplicates and exposes the code
+    space to the query kernels.
+
+    Code ``0`` is permanently pinned to the empty string so that zero-filled
+    columnar storage and ``NULL_ADDRESS`` row templates decode identically.
+
+    Reclamation follows the heap's two-epoch rule: when a code's refcount
+    drops to zero its heap record is freed and the code itself parks in a
+    limbo queue for two epochs before it may be rebound to a new string.  A
+    scan that resolved codes inside an epoch-protected critical section can
+    therefore never observe a code remapped under it.  ``version`` ticks on
+    every binding change; kernels use it to cache per-dictionary artifacts
+    (decode arrays, predicate match sets).
+    """
+
+    def __init__(self, heap: StringHeap, epochs: "EpochManager") -> None:
+        self._heap = heap
+        self._epochs = epochs
+        self._lock = threading.Lock()
+        self._by_text: Dict[str, int] = {"": 0}
+        self._texts: List[str] = [""]
+        self._addrs: List[int] = [NULL_ADDRESS]
+        self._refs: List[int] = [1]
+        self._free_codes: List[int] = []
+        # retired codes awaiting the reuse grace period: (ready_epoch, code)
+        self._limbo: Deque[Tuple[int, int]] = deque()
+        self.version = 0
+        self._text_array: Optional[np.ndarray] = None
+        self._text_array_version = -1
+        self._match_cache: Dict[
+            Tuple[str, object], Tuple[int, np.ndarray, FrozenSet[int]]
+        ] = {}
+
+    # -- write side ----------------------------------------------------
+
+    def _reclaim_limbo(self) -> None:
+        epoch = self._epochs.global_epoch
+        while self._limbo and self._limbo[0][0] <= epoch:
+            __, code = self._limbo.popleft()
+            self._free_codes.append(code)
+
+    def intern(self, text: str) -> int:
+        """Return the code for *text*, binding a new one if needed.
+
+        Bumps the refcount for every non-empty hit; callers own exactly one
+        reference per stored occurrence and must :meth:`release` it.
+        """
+        with self._lock:
+            code = self._by_text.get(text)
+            if code is not None:
+                if code:
+                    self._refs[code] += 1
+                return code
+            self._reclaim_limbo()
+            addr = self._heap.alloc(text)
+            if self._free_codes:
+                code = self._free_codes.pop()
+                self._texts[code] = text
+                self._addrs[code] = addr
+                self._refs[code] = 1
+            else:
+                code = len(self._texts)
+                self._texts.append(text)
+                self._addrs.append(addr)
+                self._refs.append(1)
+            self._by_text[text] = code
+            self.version += 1
+            return code
+
+    def release(self, code: int) -> None:
+        """Drop one reference to *code*; retires the binding at zero."""
+        if code <= 0:
+            return
+        with self._lock:
+            n = self._refs[code] - 1
+            self._refs[code] = n
+            if n:
+                return
+            # Keep _texts[code] in place: a racing reader inside the grace
+            # period may still decode the retired code.
+            del self._by_text[self._texts[code]]
+            self._heap.free(self._addrs[code])
+            self._addrs[code] = NULL_ADDRESS
+            self._limbo.append((self._epochs.global_epoch + 2, code))
+            self.version += 1
+
+    # -- read side -----------------------------------------------------
+
+    def text_of(self, code: int) -> str:
+        return self._texts[code] if code > 0 else ""
+
+    def code_of(self, text: str) -> Optional[int]:
+        """Code currently bound to *text*, or ``None`` (never interns)."""
+        return self._by_text.get(text)
+
+    def refcount(self, code: int) -> int:
+        return self._refs[code]
+
+    def text_array(self) -> np.ndarray:
+        """Object ndarray mapping code -> text, cached per version."""
+        arr = self._text_array
+        if arr is None or self._text_array_version != self.version:
+            arr = np.array(self._texts, dtype=object)
+            self._text_array = arr
+            self._text_array_version = self.version
+        return arr
+
+    def decode_array(self, codes: np.ndarray) -> np.ndarray:
+        """Vectorised gather: int code array -> object array of texts."""
+        arr = self.text_array()
+        if codes.size and int(codes.max()) >= arr.size:
+            # A concurrent intern grew the table mid-scan; take a fresh
+            # uncached view (bag semantics admit the new row).
+            arr = np.array(self._texts, dtype=object)
+        return arr[codes]
+
+    def _match(self, kind: str, arg: object) -> Tuple[np.ndarray, FrozenSet[int]]:
+        key = (kind, arg)
+        cached = self._match_cache.get(key)
+        if cached is not None and cached[0] == self.version:
+            return cached[1], cached[2]
+        texts, refs = self._texts, self._refs
+        if kind == "prefix":
+            sel = [
+                c
+                for c in range(len(texts))
+                if refs[c] > 0 and texts[c].startswith(arg)
+            ]
+        elif kind == "contains":
+            sel = [c for c in range(len(texts)) if refs[c] > 0 and arg in texts[c]]
+        elif kind == "inset":
+            sel = sorted(
+                code
+                for v in arg  # type: ignore[attr-defined]
+                if (code := self._by_text.get(v)) is not None
+            )
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"unknown match kind {kind!r}")
+        codes = np.array(sel, dtype=np.int64)
+        result = (codes, frozenset(sel))
+        self._match_cache[key] = (self.version, *result)
+        if len(self._match_cache) > 256:
+            self._match_cache.pop(next(iter(self._match_cache)))
+        return result
+
+    def match_codes(self, kind: str, arg: object) -> np.ndarray:
+        """Codes of live distinct values matching a string predicate.
+
+        *kind* is ``"prefix"``/``"contains"`` (arg: needle string) or
+        ``"inset"`` (arg: frozenset of probe strings).  The predicate is
+        evaluated once over the distinct values and cached per dictionary
+        version, so repeated scans reduce to an ``np.isin`` over the codes.
+        """
+        return self._match(kind, arg)[0]
+
+    def match_set(self, kind: str, arg: object) -> FrozenSet[int]:
+        """Frozenset flavor of :meth:`match_codes` for scalar kernels."""
+        return self._match(kind, arg)[1]
+
+    # -- stats ---------------------------------------------------------
+
+    @property
+    def live_count(self) -> int:
+        """Distinct live strings (excluding the pinned empty string)."""
+        return len(self._by_text) - 1

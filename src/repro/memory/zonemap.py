@@ -74,19 +74,38 @@ _VIEW_DTYPES = {
 }
 
 
+#: Distinct-code threshold below which a block's zone map keeps the exact
+#: set of dictionary codes present (a "small-domain code bitmap") instead
+#: of only the min/max envelope.
+CODE_SET_LIMIT = 64
+
+
 def is_zoned(field) -> bool:
-    """True if *field*'s raw values are bounded by zone maps."""
-    return type(field).__name__ in _ELIGIBLE_FIELDS
+    """True if writes to *field* must invalidate block zone maps.
+
+    Varstring fields count: with dictionary encoding their columns hold
+    int codes that zone maps bound (and enumerate for small domains), so
+    in-place updates have to bump ``zone_version`` like any zoned write.
+    """
+    name = type(field).__name__
+    return name in _ELIGIBLE_FIELDS or name == "VarStringField"
 
 
 class ZoneMap:
-    """Min/max bounds per field (raw-value domain), valid at one version."""
+    """Min/max bounds per field (raw-value domain), valid at one version.
 
-    __slots__ = ("lo", "hi", "stale", "version")
+    For dictionary-coded string fields, ``codes[name]`` additionally holds
+    the exact set of codes present in the block when the block's distinct
+    count is small (at most :data:`CODE_SET_LIMIT`); otherwise the entry
+    is absent and only the lo/hi envelope applies.
+    """
+
+    __slots__ = ("lo", "hi", "codes", "stale", "version")
 
     def __init__(self, version: int) -> None:
         self.lo: Dict[str, float] = {}
         self.hi: Dict[str, float] = {}
+        self.codes: Dict[str, frozenset] = {}
         self.stale = 0
         self.version = version
 
@@ -103,12 +122,16 @@ class ZoneMap:
         return f"<ZoneMap v={self.version} stale={self.stale} {spans}>"
 
 
-def zone_specs(context: "MemoryContext") -> List[Tuple[str, np.dtype, int]]:
-    """Cached ``(name, dtype, offset)`` list of *context*'s zoned fields.
+def zone_specs(
+    context: "MemoryContext",
+) -> List[Tuple[str, np.dtype, int, bool]]:
+    """Cached ``(name, dtype, offset, is_code)`` list of zoned fields.
 
     The dtype/offset pair builds a strided view over a row block's slot
-    bytes; columnar builds only need the names.  Contexts without a
-    layout (e.g. the string store) have no zoned fields.
+    bytes; columnar builds only need the names.  ``is_code`` marks
+    dictionary-coded varstring columns, which get code-set statistics on
+    top of the min/max envelope.  Contexts without a layout (e.g. the
+    string store) have no zoned fields.
     """
     specs = getattr(context, "_zone_specs", None)
     if specs is None:
@@ -116,10 +139,14 @@ def zone_specs(context: "MemoryContext") -> List[Tuple[str, np.dtype, int]]:
         if layout is None:  # string store etc.: nothing to zone, no cache
             return []
         specs = [
-            (f.name, _VIEW_DTYPES[type(f).__name__], f.offset)
+            (f.name, _VIEW_DTYPES[type(f).__name__], f.offset, False)
             for f in layout.fields
             if type(f).__name__ in _ELIGIBLE_FIELDS
         ]
+        if getattr(context, "strdict", None) is not None:
+            specs.extend(
+                (f.name, np.int64, f.offset, True) for f in layout.var_fields
+            )
         context._zone_specs = specs
     return specs
 
@@ -142,7 +169,7 @@ def _compute(context: "MemoryContext", block, version: int) -> Optional[ZoneMap]
     zones = ZoneMap(version)
     columns = getattr(block, "columns", None)
     mv = None if columns is not None else memoryview(block.buf)
-    for name, dtype, off in specs:
+    for name, dtype, off, is_code in specs:
         if columns is not None:
             col = columns[name]
         else:
@@ -154,6 +181,15 @@ def _compute(context: "MemoryContext", block, version: int) -> Optional[ZoneMap]
                 strides=(block.slot_size,),
             )
         vals = col[valid]
+        if is_code:
+            # Row templates store NULL_ADDRESS (-1) for unset varstrings;
+            # both -1 and 0 decode to "", so fold them before bounding.
+            uniq = np.unique(np.maximum(vals, 0))
+            zones.lo[name] = uniq[0].item()
+            zones.hi[name] = uniq[-1].item()
+            if uniq.size <= CODE_SET_LIMIT:
+                zones.codes[name] = frozenset(int(c) for c in uniq)
+            continue
         zones.lo[name] = vals.min().item()
         zones.hi[name] = vals.max().item()
     return zones

@@ -165,7 +165,7 @@ def run_columnar(
     # reordering the paper's query compiler performs statically.
     filters.sort(key=_nav_depth)
 
-    zone_tests = derive_zone_tests(filters, params) if prune else []
+    zone_tests = derive_zone_tests(filters, params, source) if prune else []
     plan = _ScanPlan(
         manager, source, params, filters, inset_ops, terminal, zone_tests
     )
@@ -252,10 +252,8 @@ class _ScanPlan:
         zones = zonemap.ensure(self.manager, block)
         if zones is None:
             return True
-        lo, hi = zones.lo, zones.hi
         for test in self.zone_tests:
-            blo = lo.get(test.name)
-            if blo is not None and not test.admits(blo, hi[test.name]):
+            if not test.admits_zones(zones):
                 return False
         return True
 
@@ -368,9 +366,14 @@ def _raw_key(value, spec):
 
     Columnar char columns are NUL-padded by NumPy, unlike the
     space-padded row-layout CHAR slots; plain bytes keys let ``np.isin``
-    apply the correct padding.
+    apply the correct padding.  Dictionary-coded probe columns translate
+    subquery strings to codes (``-2`` for strings absent from the
+    dictionary, which no stored code can equal).
     """
     kind, meta = spec
+    if kind == "strcode":
+        code = meta.code_of(value if isinstance(value, str) else str(value))
+        return -2 if code is None else code
     if kind == "str" and isinstance(meta, int) and isinstance(value, str):
         return value.encode("utf-8")
     return _to_raw(value, spec)
@@ -401,6 +404,11 @@ class _BlockCtx:
         self._addrs = {k: v[keep] for k, v in self._addrs.items()}
         self._groupings.clear()  # groupings index the pre-refine arrays
         self._vals = {k: (v[keep], d) for k, (v, d) in self._vals.items()}
+
+    def _strdict_for(self, field):
+        """String dictionary of the collection owning *field*, if any."""
+        coll = self.manager.collections.get(field.owner.__name__)
+        return getattr(coll, "strdict", None)
 
     # -- navigation -----------------------------------------------------
 
@@ -494,12 +502,21 @@ class _BlockCtx:
                 arr = self.column(expr.steps, field.name + "__w")
                 return np.asarray(arr, dtype=np.int64), ("ref", None)
             if isinstance(field, VarStringField):
-                addrs = np.asarray(self.column(expr.steps, field.name))
+                raw = np.asarray(self.column(expr.steps, field.name))
+                sd = self._strdict_for(field)
+                if sd is not None:
+                    # Dictionary codes: row templates store NULL_ADDRESS
+                    # (-1) for unset strings; fold to code 0 ("").
+                    codes = raw.astype(np.int64, copy=False)
+                    if codes.size and int(codes.min()) < 0:
+                        codes = np.maximum(codes, 0)
+                    return codes, ("strcode", sd)
+                # Ablation path: batch-decode the block's records into one
+                # NumPy bytes array so string kernels stay vectorised.
                 strings = self.manager.strings
-                vals = np.array(
-                    [strings.read(int(a)) for a in addrs], dtype=object
-                )
-                return vals, ("str", "py")
+                texts = [strings.read_bytes(int(a)) for a in raw]
+                width = max(map(len, texts), default=1) or 1
+                return np.array(texts, dtype=f"S{width}"), ("str", -width)
             return np.asarray(self.column(expr.steps, field.name)), _field_dtype(
                 field
             )
@@ -520,6 +537,8 @@ class _BlockCtx:
         if isinstance(expr, Cmp):
             (l, ldt) = self.eval(expr.left)
             (r, rdt) = self.eval(expr.right)
+            if ldt[0] == "strcode" or rdt[0] == "strcode":
+                return self._cmp_strcode(expr.op, l, ldt, r, rdt)
             l, r, __ = _align(l, ldt, r, rdt, "cmp")
             ops = {
                 "==": np.equal,
@@ -547,6 +566,8 @@ class _BlockCtx:
             return ~np.asarray(arr, dtype=bool), ("bool", None)
         if isinstance(expr, Between):
             v, vdt = self.eval(expr.inner)
+            if vdt[0] == "strcode":
+                v, vdt = vdt[1].decode_array(np.asarray(v)), ("str", "py")
             lo, ldt = self.eval(expr.lo)
             hi, hdt = self.eval(expr.hi)
             lo2, v1, __ = _align(lo, ldt, v, vdt, "cmp")
@@ -554,15 +575,28 @@ class _BlockCtx:
             return (v1 >= lo2) & (v2 <= hi2), ("bool", None)
         if isinstance(expr, InSet):
             arr, dtype = self.eval(expr.inner)
+            if dtype[0] == "strcode":
+                codes = dtype[1].match_codes(
+                    "inset", frozenset(str(v) for v in expr.values)
+                )
+                return np.isin(arr, codes), ("bool", None)
             raw = [_to_raw(v, dtype) for v in expr.values]
-            if dtype[0] == "str" and isinstance(dtype[1], int):
-                raw = [v.rstrip() for v in raw]
+            if dtype[0] == "str" and isinstance(dtype[1], int) and dtype[1] > 0:
+                # SQL CHAR comparison ignores trailing spaces; strip the
+                # padding from *both* sides (probes carry NUL padding from
+                # _to_raw, the column carries whatever was stored).
+                raw = [v.rstrip(b" \x00") for v in raw]
+                arr = np.char.rstrip(arr, b" \x00")
             probe = np.array(raw)
             return np.isin(arr, probe), ("bool", None)
         if isinstance(expr, CaseWhen):
             cond, __ = self.eval(expr.cond)
             then, tdt = self.eval(expr.then)
             other, odt = self.eval(expr.otherwise)
+            if tdt[0] == "strcode":
+                then, tdt = tdt[1].decode_array(np.asarray(then)), ("str", "py")
+            if odt[0] == "strcode":
+                other, odt = odt[1].decode_array(np.asarray(other)), ("str", "py")
             then, other, dtype = _align(then, tdt, other, odt, "+")
             return (
                 np.where(np.asarray(cond, dtype=bool), then, other),
@@ -575,6 +609,11 @@ class _BlockCtx:
             return years, ("int", None)
         if isinstance(expr, StrPrefix):
             arr, dtype = self.eval(expr.inner)
+            if dtype[0] == "strcode":
+                # Evaluated once over the dictionary's distinct values,
+                # then reduced to an int-code membership test.
+                codes = dtype[1].match_codes("prefix", expr.prefix)
+                return np.isin(arr, codes), ("bool", None)
             if isinstance(dtype[1], int):
                 return (
                     np.char.startswith(arr, expr.prefix.encode()),
@@ -586,6 +625,9 @@ class _BlockCtx:
             )
         if isinstance(expr, StrContains):
             arr, dtype = self.eval(expr.inner)
+            if dtype[0] == "strcode":
+                codes = dtype[1].match_codes("contains", expr.needle)
+                return np.isin(arr, codes), ("bool", None)
             if isinstance(dtype[1], int):
                 return np.char.find(arr, expr.needle.encode()) >= 0, ("bool", None)
             return (
@@ -593,6 +635,43 @@ class _BlockCtx:
                 ("bool", None),
             )
         raise CompileError(f"cannot evaluate {expr!r} on the columnar engine")
+
+    _CMP_OPS = {
+        "==": np.equal,
+        "!=": np.not_equal,
+        "<": np.less,
+        "<=": np.less_equal,
+        ">": np.greater,
+        ">=": np.greater_equal,
+    }
+
+    def _cmp_strcode(self, op, l, ldt, r, rdt):
+        """Comparison with at least one dictionary-coded operand.
+
+        Equality against a literal is a single ``code_of`` lookup followed
+        by an integer compare; ordering comparisons fall back to decoded
+        text (codes are allocation-ordered, not collation-ordered).
+        """
+        if ldt[0] != "strcode":
+            l, ldt, r, rdt = r, rdt, l, ldt
+            op = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}.get(op, op)
+        sd = ldt[1]
+        if rdt[0] == "strcode":
+            if rdt[1] is sd and op in ("==", "!="):
+                return self._CMP_OPS[op](l, r), ("bool", None)
+            lv = sd.decode_array(np.asarray(l))
+            rv = rdt[1].decode_array(np.asarray(r))
+            return self._CMP_OPS[op](lv, rv), ("bool", None)
+        rv = r.decode("utf-8") if isinstance(r, bytes) else str(r)
+        if op in ("==", "!="):
+            code = sd.code_of(rv)
+            if code is None:
+                # The literal is not in the dictionary: nothing matches.
+                empty = np.zeros(np.asarray(l).shape, dtype=bool)
+                return (empty if op == "==" else ~empty), ("bool", None)
+            return self._CMP_OPS[op](l, code), ("bool", None)
+        texts = sd.decode_array(np.asarray(l))
+        return self._CMP_OPS[op](texts, rv), ("bool", None)
 
     def _const(self, value: Any) -> Tuple[Any, Tuple[str, Any]]:
         if isinstance(value, Decimal):
@@ -753,6 +832,12 @@ class _Accumulator:
                 continue
             arr, dtype = ctx.eval(agg.expr)
             arr = np.asarray(arr)
+            if dtype[0] == "strcode":
+                if agg.kind in ("sum", "avg"):
+                    raise CompileError(f"cannot {agg.kind} a string field")
+                # min/max order by text, not by allocation-ordered code.
+                arr = dtype[1].decode_array(arr)
+                dtype = ("str", "py")
             agg_dtypes.append(dtype)
             if agg.kind in ("sum", "avg"):
                 if arr.dtype.kind in "iu":
@@ -777,26 +862,37 @@ class _Accumulator:
                     sums = np.bincount(inverse, weights=arr, minlength=nuniq)
                 for g in range(nuniq):
                     partials[g].append((agg.kind, (sums[g].item(), int(counts[g]))))
-            elif agg.kind == "min":
-                fill = (
-                    np.iinfo(arr.dtype).max
-                    if arr.dtype.kind in "iu"
-                    else np.inf
-                )
-                out = np.full(nuniq, fill, dtype=arr.dtype)
-                np.minimum.at(out, inverse, arr)
-                for g in range(nuniq):
-                    partials[g].append(("min", out[g].item()))
-            elif agg.kind == "max":
-                fill = (
-                    np.iinfo(arr.dtype).min
-                    if arr.dtype.kind in "iu"
-                    else -np.inf
-                )
-                out = np.full(nuniq, fill, dtype=arr.dtype)
-                np.maximum.at(out, inverse, arr)
-                for g in range(nuniq):
-                    partials[g].append(("max", out[g].item()))
+            elif agg.kind in ("min", "max"):
+                if arr.dtype.kind not in "iuf":
+                    # Strings (object or bytes): per-group Python fold.
+                    cells: List[Any] = [None] * nuniq
+                    lt = agg.kind == "min"
+                    for g, v in zip(inverse.tolist(), arr.tolist()):
+                        cur = cells[g]
+                        if cur is None or (v < cur if lt else v > cur):
+                            cells[g] = v
+                    for g in range(nuniq):
+                        partials[g].append((agg.kind, cells[g]))
+                elif agg.kind == "min":
+                    fill = (
+                        np.iinfo(arr.dtype).max
+                        if arr.dtype.kind in "iu"
+                        else np.inf
+                    )
+                    out = np.full(nuniq, fill, dtype=arr.dtype)
+                    np.minimum.at(out, inverse, arr)
+                    for g in range(nuniq):
+                        partials[g].append(("min", out[g].item()))
+                else:
+                    fill = (
+                        np.iinfo(arr.dtype).min
+                        if arr.dtype.kind in "iu"
+                        else -np.inf
+                    )
+                    out = np.full(nuniq, fill, dtype=arr.dtype)
+                    np.maximum.at(out, inverse, arr)
+                    for g in range(nuniq):
+                        partials[g].append(("max", out[g].item()))
         self.agg_dtypes = agg_dtypes
 
         for g, key in enumerate(uniq_keys):
@@ -904,12 +1000,18 @@ def _decode_column(arr, dtype: Tuple[str, Any], n: int) -> List[Any]:
     if not isinstance(arr, np.ndarray):
         return [_decode(arr, dtype)] * n
     kind, meta = dtype
+    if kind == "strcode":
+        return meta.decode_array(arr).tolist()
     if kind == "decimal":
         quantum = Decimal(1).scaleb(-meta)
         return [Decimal(v) * quantum for v in arr.tolist()]
     if kind == "date":
         return [days_to_date(v) for v in arr.tolist()]
     if kind == "str" and isinstance(meta, int):
+        if meta < 0:
+            # Batch-decoded varstring bytes: trailing spaces are data;
+            # only the S-dtype NUL padding is insignificant.
+            return [v.rstrip(b"\x00").decode("utf-8") for v in arr.tolist()]
         return [v.rstrip(b" \x00").decode("utf-8") for v in arr.tolist()]
     if kind == "str":
         return [
@@ -923,13 +1025,16 @@ def _decode(value: Any, dtype: Tuple[str, Any]) -> Any:
     kind, meta = dtype
     if isinstance(value, np.generic):
         value = value.item()
+    if kind == "strcode":
+        return meta.text_of(int(value))
     if kind == "decimal":
         return Decimal(int(value)).scaleb(-meta)
     if kind == "date":
         return days_to_date(int(value))
     if kind == "str" and isinstance(meta, int):
         if isinstance(value, bytes):
-            return value.rstrip(b" \x00").decode("utf-8")
+            pad = b"\x00" if meta < 0 else b" \x00"
+            return value.rstrip(pad).decode("utf-8")
         return value
     if kind == "str" and isinstance(value, bytes):
         return value.rstrip(b" \x00").decode("utf-8")

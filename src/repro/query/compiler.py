@@ -140,12 +140,20 @@ def run_compiled(
 def get_compiled(query: Query, flavor: str) -> "_Compiled":
     direct = bool(getattr(query.source, "manager", None))
     direct = direct and query.source.manager.direct_pointers
-    key = (flavor, direct, query.signature())
+    # Dictionary-encoded managers compile to code-space string kernels, so
+    # the cached function is specialised on the encoding as well.  The
+    # manager-level flag (not the source's own ``strdict``) decides:
+    # navigation can reach dict-encoded collections from a source that has
+    # no varstring fields of its own.
+    dicted = bool(
+        getattr(getattr(query.source, "manager", None), "string_dict", False)
+    )
+    key = (flavor, direct, dicted, query.signature())
     with _CACHE_LOCK:
         hit = _CACHE.get(key)
     if hit is not None:
         return hit
-    generator = _Generator(query, flavor, direct)
+    generator = _Generator(query, flavor, direct, dicted)
     compiled = generator.build()
     with _CACHE_LOCK:
         _CACHE[key] = compiled
@@ -271,6 +279,13 @@ class ZoneTest:
                 return False
         return True
 
+    def admits_zones(self, zones) -> bool:
+        """Interval test against a block's :class:`~repro.memory.zonemap.ZoneMap`."""
+        lo = zones.lo.get(self.name)
+        if lo is None:
+            return True
+        return self.admits(lo, zones.hi[self.name])
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         lob = "(" if self.lo_strict else "["
         hib = ")" if self.hi_strict else "]"
@@ -279,22 +294,77 @@ class ZoneTest:
         return f"<ZoneTest {self.name} in {lob}{self.vlo}, {self.vhi}{hib}>"
 
 
+class CodeZoneTest:
+    """A string predicate lowered to dictionary-code membership.
+
+    Built from the matching-code set of an equality / ``InSet`` /
+    ``StrPrefix`` / ``StrContains`` predicate over a dictionary-encoded
+    varstring field.  A block is admitted only if its zone statistics may
+    contain one of the matching codes: the exact per-block code set when
+    the block's domain is small, the code min/max envelope otherwise.
+    An empty match set (the literal occurs nowhere in the dictionary)
+    admits no block at all.
+    """
+
+    __slots__ = ("name", "codes", "_set", "_lo", "_hi")
+
+    def __init__(self, name: str, codes) -> None:
+        self.name = name
+        self.codes = codes  # sorted int ndarray
+        self._set: Optional[frozenset] = None
+        self._lo = int(codes[0]) if len(codes) else 0
+        self._hi = int(codes[-1]) if len(codes) else -1
+
+    def admits_zones(self, zones) -> bool:
+        if self._hi < self._lo:  # empty match set: no block can match
+            return False
+        exact = zones.codes.get(self.name)
+        if exact is not None:
+            if self._set is None:
+                self._set = frozenset(int(c) for c in self.codes)
+            return not exact.isdisjoint(self._set)
+        lo = zones.lo.get(self.name)
+        if lo is None:
+            return True
+        return not (zones.hi[self.name] < self._lo or lo > self._hi)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<CodeZoneTest {self.name} in {len(self.codes)} codes>"
+
+
 def derive_zone_tests(
-    predicates: List[Expr], params: Dict[str, Any]
+    predicates: List[Expr], params: Dict[str, Any], source: Any = None
 ) -> List[ZoneTest]:
-    """Lower a conjunction of filter predicates to block zone tests."""
+    """Lower a conjunction of filter predicates to block zone tests.
+
+    *source* (the scanned collection) supplies the string dictionary for
+    code-space tests over varstring predicates; without it only numeric
+    tests are derived.
+    """
     tests: List[ZoneTest] = []
+    strdict = getattr(source, "strdict", None)
     for pred in predicates:
-        _derive_zone_test(pred, params, tests)
+        _derive_zone_test(pred, params, tests, strdict)
     return tests
 
 
+def _string_zone_field(expr: Expr) -> Optional[Field]:
+    """The un-navigated varstring field *expr* reads, if it is exactly that."""
+    if (
+        isinstance(expr, FieldRef)
+        and not expr.steps
+        and isinstance(expr.field, VarStringField)
+    ):
+        return expr.field
+    return None
+
+
 def _derive_zone_test(
-    expr: Expr, params: Dict[str, Any], out: List[ZoneTest]
+    expr: Expr, params: Dict[str, Any], out: List[ZoneTest], strdict=None
 ) -> None:
     if isinstance(expr, BoolOp) and expr.op == "and":
         for part in expr.parts:
-            _derive_zone_test(part, params, out)
+            _derive_zone_test(part, params, out, strdict)
         return
     if isinstance(expr, Cmp):
         field, value, op = None, None, expr.op
@@ -306,6 +376,15 @@ def _derive_zone_test(
             value = _literal(expr.left, params)
             op = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}.get(op, op)
         if field is None or value is _NO_LITERAL:
+            return
+        if isinstance(field, VarStringField):
+            if strdict is not None and op == "==" and isinstance(value, str):
+                out.append(
+                    CodeZoneTest(
+                        field.name,
+                        strdict.match_codes("inset", frozenset((value,))),
+                    )
+                )
             return
         raw = _zone_raw(value, _field_dtype(field))
         if raw is None:
@@ -326,7 +405,7 @@ def _derive_zone_test(
         return
     if isinstance(expr, Between):
         field = _zone_field(expr.inner)
-        if field is None:
+        if field is None or isinstance(field, VarStringField):
             return
         lo = _literal(expr.lo, params)
         hi = _literal(expr.hi, params)
@@ -342,12 +421,41 @@ def _derive_zone_test(
         field = _zone_field(expr.inner)
         if field is None or not expr.values:
             return
+        if isinstance(field, VarStringField):
+            if strdict is not None and all(
+                isinstance(v, str) for v in expr.values
+            ):
+                out.append(
+                    CodeZoneTest(
+                        field.name,
+                        strdict.match_codes("inset", frozenset(expr.values)),
+                    )
+                )
+            return
         spec = _field_dtype(field)
         raws = [_zone_raw(v, spec) for v in expr.values]
         if any(r is None for r in raws):
             return
         # Conservative envelope of the probe set.
         out.append(ZoneTest(field.name, min(raws), max(raws)))
+        return
+    if isinstance(expr, StrPrefix):
+        field = _string_zone_field(expr.inner)
+        if field is not None and strdict is not None:
+            out.append(
+                CodeZoneTest(
+                    field.name, strdict.match_codes("prefix", expr.prefix)
+                )
+            )
+        return
+    if isinstance(expr, StrContains):
+        field = _string_zone_field(expr.inner)
+        if field is not None and strdict is not None:
+            out.append(
+                CodeZoneTest(
+                    field.name, strdict.match_codes("contains", expr.needle)
+                )
+            )
 
 
 def _zone_field(expr: Expr) -> Optional[Field]:
@@ -434,12 +542,15 @@ def _slow_direct_deref(manager, address: int, inc: int) -> int:
 
 
 class _Generator:
-    def __init__(self, query: Query, flavor: str, direct: bool) -> None:
+    def __init__(
+        self, query: Query, flavor: str, direct: bool, dicted: bool = False
+    ) -> None:
         if flavor not in ("managed", "smc-safe", "smc-unsafe"):
             raise CompileError(f"unknown compiled flavour {flavor!r}")
         self.query = query
         self.flavor = flavor
         self.direct = direct
+        self.dicted = dicted
         self.schema = query.source.schema
         self.layout = self.schema.__layout__
         self.env: Dict[str, Any] = {
@@ -460,6 +571,8 @@ class _Generator:
         #: per-row navigation cache: steps tuple -> (bufvar, offvar)
         self._nav_cache: Dict[tuple, Tuple[str, str]] = {}
         self._param_cache: Dict[tuple, str] = {}
+        #: per-schema string-dictionary prelude bindings (dict mode)
+        self._sdict_vars: Dict[Tuple[str, str], str] = {}
         self.probe_specs: List[List[Tuple[str, Any]]] = []
         self._inset_count = 0
 
@@ -479,6 +592,59 @@ class _Generator:
         if key not in self.env:
             self.env[key] = struct.Struct("<" + fmt).unpack_from
         return key
+
+    def _sdict_bind(self, cls_name: str, attr: str) -> str:
+        """Prelude-bind a schema's string dictionary (or an attribute of
+        it), resolved from ``_mgr`` per call — never baked into the env."""
+        key = (cls_name, attr)
+        var = self._sdict_vars.get(key)
+        if var is None:
+            var = self.uid("sd")
+            expr = f"_mgr.collections[{cls_name!r}].strdict"
+            if attr:
+                expr += f".{attr}"
+            self.prelude.append(f"{var} = {expr}")
+            self._sdict_vars[key] = var
+        return var
+
+    def _strcode_probe(
+        self, inner: Expr, row_lines: List[str]
+    ) -> Optional[Tuple[str, str]]:
+        """Raw dictionary-code access for code-space string predicates.
+
+        Returns ``(code_expr, class_name)`` when *inner* is a direct
+        varstring field read in the unsafe flavour of a dict-encoded
+        source, else ``None`` (caller falls back to decoded text).
+        """
+        if self.flavor != "smc-unsafe" or not self.dicted:
+            return None
+        if not isinstance(inner, FieldRef) or not isinstance(
+            inner.field, VarStringField
+        ):
+            return None
+        bufvar, offvar = self._navigate(inner.steps, row_lines)
+        u = self.unpacker("q")
+        field = inner.field
+        # max(..., 0) folds the NULL_ADDRESS row template to code 0 ("").
+        code = f"max({u}({bufvar}, {offvar} + {field.offset})[0], 0)"
+        return code, field.owner.__name__
+
+    def _strcode_member(
+        self, probe: Tuple[str, str], kind: str, arg: Any
+    ) -> Tuple[str, Tuple[str, Any]]:
+        """Rewrite a string predicate as code-set membership.
+
+        The matching-code set is fetched once per call in the prelude
+        (``StringDict.match_set`` is version-cached, so steady-state cost
+        is a dict lookup) and the per-row test collapses to ``code in
+        set`` — no heap read, no decode.
+        """
+        code, cls_name = probe
+        matcher = self._sdict_bind(cls_name, "match_set")
+        argvar = self.bind(arg, "marg")
+        var = self.uid("ms")
+        self.prelude.append(f"{var} = {matcher}({kind!r}, {argvar})")
+        return f"({code} in {var})", ("bool", None)
 
     # -- entry point -------------------------------------------------------
 
@@ -538,6 +704,9 @@ class _Generator:
             p.append("_taddr = _table._addr")
             p.append("_shift = _space.block_shift")
             p.append("_mask = _space.block_size - 1")
+            # Resolved per call: compiled functions are cached and shared
+            # across managers, so the heap cannot be baked into the env.
+            p.append("_heap = _mgr.strings")
         p.append("_rows = []")
 
     # -- row loop ------------------------------------------------------------
@@ -770,6 +939,12 @@ class _Generator:
             # value1/value2 identical unless scales differed; recompute value
             return f"({value1} >= {lo} and {value2} <= {hi})", ("bool", None)
         if isinstance(expr, InSet):
+            if all(isinstance(v, str) for v in expr.values):
+                probe = self._strcode_probe(expr.inner, row_lines)
+                if probe is not None:
+                    return self._strcode_member(
+                        probe, "inset", frozenset(expr.values)
+                    )
             inner, dtype = self._expr(expr.inner, row_lines)
             values = frozenset(self._raw_const(v, dtype) for v in expr.values)
             name = self.bind(values, "set")
@@ -786,6 +961,9 @@ class _Generator:
                 return f"_days_to_date({inner}).year", ("int", None)
             return f"({inner}).year", ("int", None)
         if isinstance(expr, StrPrefix):
+            probe = self._strcode_probe(expr.inner, row_lines)
+            if probe is not None:
+                return self._strcode_member(probe, "prefix", expr.prefix)
             inner, dtype = self._expr(expr.inner, row_lines)
             if self.flavor == "smc-unsafe" and isinstance(dtype[1], int):
                 prefix = self.bind(expr.prefix.encode("utf-8"), "pre")
@@ -793,6 +971,9 @@ class _Generator:
                 prefix = self.bind(expr.prefix, "pre")
             return f"({inner}.startswith({prefix}))", ("bool", None)
         if isinstance(expr, StrContains):
+            probe = self._strcode_probe(expr.inner, row_lines)
+            if probe is not None:
+                return self._strcode_member(probe, "contains", expr.needle)
             inner, dtype = self._expr(expr.inner, row_lines)
             if self.flavor == "smc-unsafe" and isinstance(dtype[1], int):
                 needle = self.bind(expr.needle.encode("utf-8"), "ndl")
@@ -856,7 +1037,9 @@ class _Generator:
             return f"{u}({bufvar}, {off})[0]", ("str", field.width)
         if isinstance(field, VarStringField):
             u = self.unpacker("q")
-            self.env.setdefault("_heap", self.query.source.manager.strings)
+            if self.dicted:
+                reader = self._sdict_bind(field.owner.__name__, "text_of")
+                return f"{reader}({u}({bufvar}, {off})[0])", ("str", "py")
             return f"_heap.read({u}({bufvar}, {off})[0])", ("str", "py")
         u = self.unpacker(field.fmt)
         return f"{u}({bufvar}, {off})[0]", _field_dtype(field)

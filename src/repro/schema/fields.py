@@ -349,24 +349,62 @@ class VarStringField(Field):
     size, align, fmt = 8, 8, "q"
     python_type = str
 
+    def _dict_of(self, manager):
+        """The owning collection's string dictionary on *manager*, if any.
+
+        Fields are shared across managers, so the dictionary is resolved
+        per call through the manager's collection registry.  ``None`` means
+        the slot stores plain string-heap addresses.
+        """
+        registry = getattr(manager, "collections", None)
+        if not registry:
+            return None
+        owner = getattr(self, "owner", None)
+        if owner is None:
+            return None
+        return getattr(registry.get(owner.__name__), "strdict", None)
+
+    def store_raw(self, value: Any, manager) -> int:
+        """Store *value*, returning the slot word (dict code or address)."""
+        text = "" if value is None else str(value)
+        sd = self._dict_of(manager)
+        if sd is not None:
+            return sd.intern(text)
+        return manager.strings.alloc(text)
+
     def encode_into(self, buf, off: int, value: Any, manager=None) -> None:
         if manager is None:
             raise TypeError("VarStringField requires a memory manager")
+        text = "" if value is None else str(value)
         old = self._struct.unpack_from(buf, off)[0]
+        sd = self._dict_of(manager)
+        if sd is not None:
+            sd.release(old)
+            self._struct.pack_into(buf, off, sd.intern(text))
+            return
         if old != NULL_ADDRESS:
             manager.strings.free(old)
-        addr = manager.strings.alloc("" if value is None else str(value))
-        self._struct.pack_into(buf, off, addr)
+        self._struct.pack_into(buf, off, manager.strings.alloc(text))
 
     def decode_from(self, buf, off: int, manager=None) -> str:
         if manager is None:
             raise TypeError("VarStringField requires a memory manager")
-        return manager.strings.read(self._struct.unpack_from(buf, off)[0])
+        raw = self._struct.unpack_from(buf, off)[0]
+        sd = self._dict_of(manager)
+        if sd is not None:
+            return sd.text_of(raw)
+        return manager.strings.read(raw)
 
     def release_into(self, buf, off: int, manager) -> None:
-        addr = self._struct.unpack_from(buf, off)[0]
-        if addr != NULL_ADDRESS:
-            manager.strings.free(addr)
+        raw = self._struct.unpack_from(buf, off)[0]
+        sd = self._dict_of(manager)
+        if sd is not None:
+            if raw > 0:
+                sd.release(raw)
+                self._struct.pack_into(buf, off, NULL_ADDRESS)
+            return
+        if raw != NULL_ADDRESS:
+            manager.strings.free(raw)
             self._struct.pack_into(buf, off, NULL_ADDRESS)
 
     @property

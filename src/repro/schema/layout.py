@@ -130,10 +130,7 @@ class SlotLayout:
                     pair = ref_encoder(f, values[f.name])
                 raws.extend(pair if pair is not None else (NULL_ADDRESS, 0))
             elif isinstance(f, VarStringField):
-                text = values.get(f.name, "")
-                raws.append(
-                    manager.strings.alloc("" if text is None else str(text))
-                )
+                raws.append(f.store_raw(values.get(f.name, ""), manager))
             elif isinstance(f, CharField):
                 data = str(values.get(f.name, "")).encode("utf-8")
                 if len(data) > f.width:

@@ -31,12 +31,16 @@ def load_smc(
     data: TpchData,
     manager: Optional[MemoryManager] = None,
     columnar: bool = False,
+    string_dict: bool = True,
 ) -> Dict[str, Any]:
     """Load the dataset into SMCs; returns name → collection.
 
     The returned dict also carries the manager under ``"_manager"``.
+    ``string_dict=False`` disables dictionary encoding for varstring
+    columns (the ``--no-dict`` ablation); ignored when an explicit
+    *manager* is supplied.
     """
-    manager = manager or MemoryManager()
+    manager = manager or MemoryManager(string_dict=string_dict)
     factory = ColumnarCollection if columnar else Collection
     collections: Dict[str, Any] = {
         name: factory(tpch_schema.SCHEMAS[name], manager=manager)

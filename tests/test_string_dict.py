@@ -1,0 +1,294 @@
+"""Dictionary-encoded string columns: differential and unit coverage.
+
+Differential guarantees first: every TPC-H query must produce identical
+results with dictionary encoding on and off (the ``--no-dict`` ablation),
+on both layouts, across worker counts and pruning settings, and across a
+compaction cycle.  Then the :class:`~repro.memory.stringheap.StringDict`
+unit contract: interning dedups heap records, refcounts track stored
+occurrences, retired codes wait out the two-epoch grace period before
+rebinding, and predicate match sets follow the dictionary version.
+
+All tests here are sanitizer-compatible (``pytest --sanitize``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.collection import Collection
+from repro.core.columnar import ColumnarCollection
+from repro.memory.manager import MemoryManager
+from repro.query.builder import Count
+from repro.tpch.loader import load_smc
+from repro.tpch.queries import DEFAULT_PARAMS, EXTRA_QUERIES, QUERIES
+from tests.schemas import TNote, TPerson
+
+ALL_QUERIES = {**QUERIES, **EXTRA_QUERIES}
+
+#: (workers, prune) configurations run with the dictionary on, each
+#: differenced against the serial unpruned dict-off baseline.
+CONFIGS = [(1, False), (1, True), (4, True)]
+
+
+def _canonical(result):
+    """Order-insensitive comparison form of a query result."""
+    return (tuple(result.columns), sorted(map(tuple, result.rows)))
+
+
+def _count(result):
+    return result.rows[0][0] if result.rows else 0
+
+
+# ----------------------------------------------------------------------
+# Differential: TPC-H, dict on vs. off
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module", params=["row", "columnar"])
+def tpch_pair(request, tpch_tiny):
+    """The same dataset loaded twice: dictionary on and off."""
+    columnar = request.param == "columnar"
+    dict_on = load_smc(tpch_tiny, columnar=columnar)
+    dict_off = load_smc(tpch_tiny, columnar=columnar, string_dict=False)
+    yield dict_on, dict_off
+    dict_on["_manager"].close()
+    dict_off["_manager"].close()
+
+
+@pytest.mark.parametrize("name", sorted(ALL_QUERIES))
+def test_differential_dict_on_off(tpch_pair, name):
+    """Code-space kernels return exactly the heap-string rows."""
+    dict_on, dict_off = tpch_pair
+    baseline = ALL_QUERIES[name](dict_off)
+    expected = _canonical(
+        baseline.run(params=DEFAULT_PARAMS, workers=1, prune=False)
+    )
+    query = ALL_QUERIES[name](dict_on)
+    for workers, prune in CONFIGS:
+        got = query.run(params=DEFAULT_PARAMS, workers=workers, prune=prune)
+        assert _canonical(got) == expected, (name, workers, prune)
+
+
+# ----------------------------------------------------------------------
+# Differential: string predicates under churn and compaction
+# ----------------------------------------------------------------------
+
+_WORDS = ["alpha", "alphabet", "beta", "betamax", "gamma", "alpaca", ""]
+
+
+def _worn_notes(string_dict):
+    """A multi-block varstring population with most rows freed."""
+    m = MemoryManager(block_shift=14, string_dict=string_dict)
+    notes = Collection(TNote, manager=m)
+    handles = [
+        notes.add(text=_WORDS[i % len(_WORDS)] + str(i % 11), stars=i % 5)
+        for i in range(3000)
+    ]
+    for i, h in enumerate(handles):
+        if i % 3:
+            notes.remove(h)
+    return m, notes
+
+
+def _note_queries(notes):
+    return {
+        "prefix": notes.query()
+        .where(TNote.text.startswith("alpha"))
+        .aggregate(n=Count()),
+        "contains": notes.query()
+        .where(TNote.text.contains("tam"))
+        .aggregate(n=Count()),
+        "inset": notes.query()
+        .where(TNote.text.isin(["beta3", "gamma5", "nosuch"]))
+        .aggregate(n=Count()),
+        "eq": notes.query()
+        .where(TNote.text == "alpaca5")
+        .aggregate(n=Count()),
+    }
+
+
+def test_string_predicates_survive_compaction():
+    """Dict and no-dict scans agree before and after relocation."""
+    m_on, on = _worn_notes(True)
+    m_off, off = _worn_notes(False)
+    try:
+        expected = {
+            k: _count(q.run(workers=1, prune=False))
+            for k, q in _note_queries(off).items()
+        }
+        assert expected["prefix"] > 0 and expected["contains"] > 0
+
+        for compacted in (False, True):
+            if compacted:
+                assert on.compact(occupancy_threshold=0.9) > 0
+                off.compact(occupancy_threshold=0.9)
+            for workers, prune in CONFIGS:
+                got = {
+                    k: _count(q.run(workers=workers, prune=prune))
+                    for k, q in _note_queries(on).items()
+                }
+                assert got == expected, (compacted, workers, prune)
+    finally:
+        m_on.close()
+        m_off.close()
+
+
+# ----------------------------------------------------------------------
+# Satellite 2 regression: CHAR padding symmetry in InSet
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("columnar", [False, True])
+def test_inset_char_trailing_space_symmetry(columnar):
+    """SQL CHAR semantics: trailing spaces never decide set membership.
+
+    A stored value carrying explicit trailing spaces must still match an
+    unpadded probe (and vice versa) on every engine — the columnar kernel
+    used to strip the probe side only.
+    """
+    m = MemoryManager()
+    factory = ColumnarCollection if columnar else Collection
+    people = factory(TPerson, manager=m)
+    people.add(name="AIR  ", age=1, balance=0)
+    people.add(name="MAIL", age=2, balance=0)
+    people.add(name="RAIL", age=3, balance=0)
+    query = (
+        people.query()
+        .where(TPerson.name.isin(["AIR", "MAIL  ", "TRUCK"]))
+        .aggregate(n=Count())
+    )
+    assert _count(query.run(workers=1, prune=False)) == 2
+    m.close()
+
+
+# ----------------------------------------------------------------------
+# StringDict unit contract
+# ----------------------------------------------------------------------
+
+
+def test_intern_dedups_heap_records_and_refcounts():
+    m = MemoryManager()
+    notes = Collection(TNote, manager=m)
+    sd = notes.strdict
+    assert sd is not None
+
+    a = notes.add(text="hello", stars=1)
+    bytes_after_first = m.strings.bytes_in_use
+    b = notes.add(text="hello", stars=2)
+    assert m.strings.bytes_in_use == bytes_after_first  # deduplicated
+    code = sd.code_of("hello")
+    assert code is not None and code > 0
+    assert sd.refcount(code) == 2
+    assert sd.live_count == 1
+    assert sd.text_of(code) == "hello"
+
+    notes.remove(a)
+    assert sd.refcount(code) == 1
+    notes.remove(b)
+    assert sd.code_of("hello") is None
+    assert sd.live_count == 0
+    assert m.strings.bytes_in_use == 0
+    m.close()
+
+
+def test_update_rebinds_reference():
+    m = MemoryManager()
+    notes = Collection(TNote, manager=m)
+    sd = notes.strdict
+    h = notes.add(text="before", stars=0)
+    old = sd.code_of("before")
+    h.text = "after"
+    assert sd.code_of("before") is None  # last reference released
+    assert sd.code_of("after") is not None
+    assert h.text == "after"
+    assert old is not None
+    m.close()
+
+
+def test_empty_string_is_pinned_code_zero():
+    m = MemoryManager()
+    notes = Collection(TNote, manager=m)
+    sd = notes.strdict
+    h = notes.add(text="", stars=0)
+    assert sd.code_of("") == 0
+    assert sd.text_of(0) == ""
+    assert h.text == ""
+    notes.remove(h)
+    assert sd.code_of("") == 0  # never retired
+    m.close()
+
+
+def test_retired_code_waits_two_epochs_before_reuse():
+    m = MemoryManager()
+    notes = Collection(TNote, manager=m)
+    sd = notes.strdict
+    h = notes.add(text="ephemeral", stars=0)
+    code = sd.code_of("ephemeral")
+    notes.remove(h)
+
+    # Inside the grace period: still decodable, never rebound.
+    assert sd.text_of(code) == "ephemeral"
+    assert sd.intern("early") != code
+
+    assert m.epochs.try_advance()
+    assert m.epochs.try_advance()
+    # Past the grace period the retired code is recycled.
+    assert sd.intern("late") == code
+    assert sd.text_of(code) == "late"
+    m.close()
+
+
+def test_match_sets_follow_dictionary_version():
+    m = MemoryManager()
+    notes = Collection(TNote, manager=m)
+    sd = notes.strdict
+    notes.add(text="prefixed-one", stars=0)
+    assert len(sd.match_set("prefix", "prefixed")) == 1
+    assert sd.match_set("contains", "fixed-o") == sd.match_set(
+        "prefix", "prefixed"
+    )
+
+    notes.add(text="prefixed-two", stars=0)  # version bump invalidates cache
+    assert len(sd.match_set("prefix", "prefixed")) == 2
+    probe = frozenset({"prefixed-one", "absent"})
+    codes = sd.match_codes("inset", probe)
+    assert codes.tolist() == [sd.code_of("prefixed-one")]
+
+    stale = notes.query().where(TNote.text.startswith("prefixed"))
+    assert _count(stale.aggregate(n=Count()).run(workers=1)) == 2
+    m.close()
+
+
+def test_no_dict_manager_opts_out():
+    m = MemoryManager(string_dict=False)
+    notes = Collection(TNote, manager=m)
+    assert notes.strdict is None
+    h = notes.add(text="plain heap string", stars=1)
+    assert h.text == "plain heap string"
+    query = (
+        notes.query()
+        .where(TNote.text.contains("heap"))
+        .aggregate(n=Count())
+    )
+    assert _count(query.run(workers=1)) == 1
+    m.close()
+
+
+def test_collections_of_same_schema_share_one_dictionary(tpch_tiny):
+    """All varstring fields of a schema resolve through one intern table."""
+    collections = load_smc(tpch_tiny)
+    manager = collections["_manager"]
+    try:
+        part = collections["part"]
+        assert part.strdict is not None
+        # Every distinct stored string is interned exactly once.
+        seen = {}
+        for h in part:
+            name = h.name
+            code = part.strdict.code_of(name)
+            assert code is not None
+            prev = seen.setdefault(name, code)
+            assert prev == code
+        assert part.strdict.live_count >= len(seen)
+    finally:
+        manager.close()
