@@ -64,7 +64,7 @@ def _prune_counters(manager):
 
 
 def run_sweep(sf, worker_counts, repeat, smoke):
-    from repro.bench.harness import time_callable
+    from repro.bench.harness import time_callable, write_json_atomic
     from repro.tpch.datagen import generate
     from repro.tpch.loader import load_smc
     from repro.tpch.queries import DEFAULT_PARAMS, QUERIES
@@ -175,7 +175,7 @@ def main(argv=None):
             ),
             "results": records,
         }
-        Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+        write_json_atomic(args.out, payload)
         print(f"wrote {args.out}")
 
     if mismatches:

@@ -1,0 +1,260 @@
+"""Closed-loop load generator for the concurrent query service.
+
+Starts an in-process :class:`ServiceServer` over a freshly generated
+TPC-H dataset, runs a background churn mutator against the same memory
+manager, then sweeps client counts: each client is a closed loop (send,
+wait, send) over a fixed query mix through its own TCP connection and
+session lease.  Reports throughput and p50/p99 latency per client
+count and writes ``BENCH_service.json`` (atomically).
+
+Correctness gates (exit 1 on violation):
+
+* differential equality: every query in the mix returns byte-identical
+  results through the service (with churn running) as in-process;
+* zero failed requests: shed requests (explicit ``OVERLOADED``) are
+  counted separately and are acceptable at saturation; any other
+  failure is not.
+
+Usage::
+
+    python benchmarks/bench_service.py            # full sweep
+    python benchmarks/bench_service.py --smoke    # CI-sized sweep
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import platform
+import sys
+import threading
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+QUERY_MIX = ["q1", "q6", "q3", "q12", "q14"]
+
+
+def _canonical(result):
+    return (tuple(result.columns), sorted(map(repr, result.rows)))
+
+
+class _ClientLoop(threading.Thread):
+    """One closed-loop client: query, record latency, repeat."""
+
+    def __init__(self, port, duration, mix, workers, stop_event):
+        super().__init__(daemon=True)
+        self.port = port
+        self.duration = duration
+        self.mix = mix
+        self.workers = workers
+        self.stop_event = stop_event
+        self.latencies = []
+        self.shed = 0
+        self.failed = 0
+        self.errors = []
+
+    def run(self):
+        from repro.service.client import (
+            ServiceClient,
+            ServiceError,
+            ServiceOverloadedError,
+        )
+
+        try:
+            client = ServiceClient(port=self.port)
+        except OSError as exc:
+            self.failed += 1
+            self.errors.append(f"connect: {exc}")
+            return
+        deadline = time.monotonic() + self.duration
+        i = 0
+        try:
+            while time.monotonic() < deadline and not self.stop_event.is_set():
+                name = self.mix[i % len(self.mix)]
+                i += 1
+                start = time.perf_counter()
+                try:
+                    client.query(name, workers=self.workers)
+                except ServiceOverloadedError:
+                    self.shed += 1
+                    continue
+                except (ServiceError, OSError) as exc:
+                    self.failed += 1
+                    self.errors.append(f"{name}: {exc}")
+                    continue
+                self.latencies.append(time.perf_counter() - start)
+        finally:
+            try:
+                client.close()
+            except Exception:
+                pass
+
+
+def _percentile(sorted_values, q):
+    if not sorted_values:
+        return None
+    idx = min(len(sorted_values) - 1, int(q * len(sorted_values)))
+    return sorted_values[idx]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="CI-sized run")
+    parser.add_argument("--sf", type=float, default=None)
+    parser.add_argument("--duration", type=float, default=None)
+    parser.add_argument(
+        "--clients", type=int, nargs="*", default=None, help="client counts"
+    )
+    parser.add_argument("--max-concurrency", type=int, default=8)
+    parser.add_argument("--queue-depth", type=int, default=32)
+    parser.add_argument(
+        "--out", default=str(REPO_ROOT / "BENCH_service.json")
+    )
+    parser.add_argument(
+        "--no-json", action="store_true", help="skip writing the JSON payload"
+    )
+    args = parser.parse_args(argv)
+
+    from repro.bench.harness import bench_scale_factor, write_json_atomic
+    from repro.service.client import ServiceClient
+    from repro.service.server import QueryService, ServiceServer
+    from repro.tpch.datagen import generate
+    from repro.tpch.loader import load_smc
+    from repro.tpch.queries import DEFAULT_PARAMS, EXTRA_QUERIES, QUERIES
+
+    if args.smoke:
+        sf = args.sf or 0.002
+        duration = args.duration or 1.5
+        client_counts = args.clients or [1, 2, 4]
+    else:
+        sf = args.sf or bench_scale_factor(0.01)
+        duration = args.duration or 5.0
+        client_counts = args.clients or [1, 4, 8, 16, 32]
+
+    print(f"generating TPC-H SF={sf} ...")
+    data = generate(sf, seed=42)
+    collections = load_smc(data)
+    manager = collections["_manager"]
+    plain = {k: v for k, v in collections.items() if not k.startswith("_")}
+
+    service = QueryService(
+        collections,
+        manager,
+        max_concurrency=args.max_concurrency,
+        queue_depth=args.queue_depth,
+    )
+    churn = service.start_churn()
+    server = ServiceServer(service).start()
+    print(
+        f"serving on port {server.port} "
+        f"(max_concurrency={args.max_concurrency}, "
+        f"queue_depth={args.queue_depth}, churn on)"
+    )
+
+    # -- differential gate: service vs in-process, churn running -------
+    builders = dict(QUERIES)
+    builders.update(EXTRA_QUERIES)
+    mismatches = 0
+    probe = ServiceClient(port=server.port)
+    for name in QUERY_MIX:
+        local = builders[name](plain).run(engine="compiled", params=DEFAULT_PARAMS)
+        remote = probe.query(name, workers=2)
+        if _canonical(local) != _canonical(remote):
+            mismatches += 1
+            print(f"MISMATCH {name}: service result diverged", file=sys.stderr)
+    probe.close()
+    print(f"differential gate: {len(QUERY_MIX)} queries, {mismatches} mismatches")
+
+    # -- closed-loop sweep ---------------------------------------------
+    records = []
+    total_failed = 0
+    for nclients in client_counts:
+        stop_event = threading.Event()
+        loops = [
+            _ClientLoop(server.port, duration, QUERY_MIX, 1, stop_event)
+            for __ in range(nclients)
+        ]
+        start = time.monotonic()
+        for loop in loops:
+            loop.start()
+        for loop in loops:
+            loop.join(timeout=duration + 30)
+        elapsed = time.monotonic() - start
+        stop_event.set()
+
+        latencies = sorted(lat for loop in loops for lat in loop.latencies)
+        completed = len(latencies)
+        shed = sum(loop.shed for loop in loops)
+        failed = sum(loop.failed for loop in loops)
+        total_failed += failed
+        for loop in loops:
+            for err in loop.errors[:3]:
+                print(f"  error: {err}", file=sys.stderr)
+        throughput = completed / elapsed if elapsed > 0 else 0.0
+        p50 = _percentile(latencies, 0.50)
+        p99 = _percentile(latencies, 0.99)
+        record = {
+            "clients": nclients,
+            "duration_s": round(elapsed, 3),
+            "completed": completed,
+            "shed": shed,
+            "failed": failed,
+            "throughput_qps": round(throughput, 2),
+            "p50_ms": round(p50 * 1000, 3) if p50 is not None else None,
+            "p99_ms": round(p99 * 1000, 3) if p99 is not None else None,
+        }
+        records.append(record)
+        print(
+            f"clients={nclients:>3}  qps={throughput:8.1f}  "
+            f"p50={record['p50_ms']}ms  p99={record['p99_ms']}ms  "
+            f"shed={shed}  failed={failed}"
+        )
+
+    churn_ops = churn.ops
+    metrics_text = ServiceClient(port=server.port).metrics()
+    scrape_lines = len(metrics_text.splitlines())
+    server.stop()
+    manager.close()
+    print(f"churn: {churn_ops} mutations; metrics scrape: {scrape_lines} lines")
+
+    if not args.no_json:
+        payload = {
+            "bench": "service",
+            "scale_factor": sf,
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "cpus": os.cpu_count(),
+            "max_concurrency": args.max_concurrency,
+            "queue_depth": args.queue_depth,
+            "duration_per_point_s": duration,
+            "query_mix": QUERY_MIX,
+            "churn_mutations": churn_ops,
+            "differential_mismatches": mismatches,
+            "notes": (
+                "Closed-loop clients over TCP with per-session epoch "
+                "leases; background mutator churns a scratch collection "
+                "on the served manager.  Shed = explicit OVERLOADED "
+                "responses (acceptable at saturation); failed = any "
+                "other error (must be zero)."
+            ),
+            "results": records,
+        }
+        write_json_atomic(args.out, payload)
+        print(f"wrote {args.out}")
+
+    if mismatches:
+        print(f"{mismatches} quer(ies) diverged through the service", file=sys.stderr)
+        return 1
+    if total_failed:
+        print(f"{total_failed} non-shed request(s) failed", file=sys.stderr)
+        return 1
+    print("all queries matched in-process results; zero non-shed failures")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -25,6 +25,34 @@ def bench_scale_factor(default: float = 0.01) -> float:
     return float(os.environ.get("REPRO_BENCH_SF", default))
 
 
+def write_json_atomic(path, payload: Any) -> None:
+    """Write *payload* as JSON to *path* atomically.
+
+    The file is written to a temp name in the same directory and renamed
+    into place (``os.replace``), so an interrupted run can never leave a
+    truncated or half-written ``BENCH_*.json`` behind.
+    """
+    import json
+    import tempfile
+    from pathlib import Path
+
+    path = Path(path)
+    fd, tmp = tempfile.mkstemp(
+        dir=str(path.parent), prefix=path.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
 def time_callable(fn: Callable[[], Any], repeat: int = 3) -> float:
     """Best-of-*repeat* wall-clock seconds of ``fn()``."""
     best = float("inf")

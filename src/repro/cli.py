@@ -13,6 +13,9 @@ Commands
     against a snapshot and print the result table.
 ``bench``
     Run one figure-reproduction bench module through pytest.
+``serve``
+    Serve a snapshot over the concurrent query service (threaded TCP,
+    length-prefixed JSON protocol; see ``docs/service.md``).
 
 Examples::
 
@@ -26,6 +29,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import threading
 import time
 from typing import List, Optional
 
@@ -64,7 +68,79 @@ def _cmd_info(args: argparse.Namespace) -> int:
         )
     print()
     print(manager.describe())
+    # Live telemetry through the service metrics registry: the same
+    # instrumentation the metrics endpoint scrapes (epoch, per-context
+    # limbo fraction, block counts, string-dict distinct counts).
+    from repro.service.metrics import MetricsRegistry, instrument_manager
+
+    registry = MetricsRegistry()
+    instrument_manager(registry, manager)
+    tel = manager.telemetry()
+    print()
+    print(
+        f"telemetry: global epoch {tel['global_epoch']}, "
+        f"min active {tel['min_active_epoch']}, "
+        f"{tel['leases']} leases, {tel['live_blocks']} live blocks"
+    )
+    for ctx in tel["contexts"]:
+        print(
+            f"  {ctx['name']:<12} limbo {ctx['limbo_fraction']:6.1%}  "
+            f"{ctx['blocks']:>4} blocks  {ctx['live']:>9} live  "
+            f"queue {ctx['reclaim_queue']}"
+        )
+    if tel["string_dicts"]:
+        counts = ", ".join(
+            f"{name}={n}" for name, n in sorted(tel["string_dicts"].items())
+        )
+        print(f"  string dictionaries: {counts}")
+    if args.metrics:
+        print()
+        print(registry.expose(), end="")
     manager.close()
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+
+    from repro.io.snapshot import load_collections
+    from repro.service.server import QueryService, ServiceServer
+
+    collections = load_collections(
+        args.snapshot, columnar=args.columnar, string_dict=not args.no_dict
+    )
+    manager = collections["_manager"]
+    service = QueryService(
+        collections,
+        manager,
+        lease_ttl=args.lease_ttl,
+        max_concurrency=args.max_concurrency,
+        queue_depth=args.queue_depth,
+    )
+    if args.churn:
+        service.start_churn()
+    server = ServiceServer(service, host=args.host, port=args.port).start()
+    print(
+        f"serving {args.snapshot} on {server.host}:{server.port} "
+        f"(max_concurrency={args.max_concurrency}, "
+        f"queue_depth={args.queue_depth}, lease_ttl={args.lease_ttl}s"
+        + (", churn on" if args.churn else "")
+        + ")"
+    )
+    stop = threading.Event()
+
+    def _signal(signum, frame):  # noqa: ARG001 - signal signature
+        stop.set()
+
+    signal.signal(signal.SIGINT, _signal)
+    signal.signal(signal.SIGTERM, _signal)
+    try:
+        while not stop.is_set() and not server._stop.is_set():
+            stop.wait(0.2)
+    finally:
+        server.stop()
+        manager.close()
+    print("server stopped")
     return 0
 
 
@@ -152,7 +228,45 @@ def build_parser() -> argparse.ArgumentParser:
     info.add_argument("snapshot")
     info.add_argument("--columnar", action="store_true")
     info.add_argument("--no-dict", action="store_true")
+    info.add_argument(
+        "--metrics",
+        action="store_true",
+        help="also print the Prometheus-format metrics exposition",
+    )
     info.set_defaults(fn=_cmd_info)
+
+    serve = sub.add_parser(
+        "serve", help="serve a snapshot over the query service protocol"
+    )
+    serve.add_argument("snapshot")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7070)
+    serve.add_argument("--columnar", action="store_true")
+    serve.add_argument("--no-dict", action="store_true")
+    serve.add_argument(
+        "--max-concurrency",
+        type=int,
+        default=8,
+        help="queries executing at once (admission-control slots)",
+    )
+    serve.add_argument(
+        "--queue-depth",
+        type=int,
+        default=32,
+        help="bounded waiting room; full means immediate OVERLOADED",
+    )
+    serve.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=30.0,
+        help="session lease TTL in seconds (watchdog expiry)",
+    )
+    serve.add_argument(
+        "--churn",
+        action="store_true",
+        help="run a background mutator against a scratch collection",
+    )
+    serve.set_defaults(fn=_cmd_serve)
 
     query = sub.add_parser("query", help="run a TPC-H query on a snapshot")
     query.add_argument("snapshot")

@@ -387,6 +387,66 @@ class MemoryManager:
             )
         return "\n".join(lines)
 
+    def telemetry(self) -> Dict[str, object]:
+        """Structured snapshot of the memory system's state.
+
+        This is the machine-readable twin of :meth:`describe`; the service
+        metrics registry and ``repro info`` both read it, so the shape is
+        part of the observable surface: top-level scalars plus a
+        ``contexts`` list and a ``string_dicts`` map.
+        """
+        contexts = []
+        for context in self._contexts:
+            blocks = context.blocks()
+            capacity = sum(b.slot_count for b in blocks)
+            limbo = sum(b.limbo_count for b in blocks)
+            contexts.append(
+                {
+                    "name": context.name,
+                    "live": context.live_count,
+                    "capacity": capacity,
+                    "blocks": len(blocks),
+                    "limbo": limbo,
+                    "limbo_fraction": (limbo / capacity) if capacity else 0.0,
+                    "reclaim_queue": context.reclaim_queue_length,
+                }
+            )
+        string_dicts = {}
+        for name, coll in getattr(self, "collections", {}).items():
+            strdict = getattr(coll, "strdict", None)
+            if strdict is not None:
+                string_dicts[name] = strdict.live_count
+        stats = self.stats
+        counters = {
+            "allocations": stats.allocations,
+            "frees": stats.frees,
+            "limbo_reuses": stats.limbo_reuses,
+            "blocks_allocated": stats.blocks_allocated,
+            "blocks_recycled": stats.blocks_recycled,
+            "blocks_pooled": stats.blocks_pooled,
+            "epoch_advances": stats.epoch_advances,
+            "compactions": stats.compactions,
+            "relocations": stats.relocations,
+            "failed_relocations": stats.failed_relocations,
+            "helped_relocations": stats.helped_relocations,
+            "bailed_relocations": stats.bailed_relocations,
+        }
+        counters.update(stats.extra)
+        return {
+            "global_epoch": self.epochs.global_epoch,
+            "min_active_epoch": self.epochs.min_active_epoch(),
+            "leases": self.epochs.lease_count(),
+            "live_blocks": self.space.live_block_count,
+            "mapped_bytes": self.total_bytes(),
+            "table_entries": self.table.size,
+            "table_free": self.table.free_count,
+            "string_heap_blocks": self.strings.block_count,
+            "string_heap_bytes": self.strings.bytes_in_use,
+            "contexts": contexts,
+            "string_dicts": string_dicts,
+            "counters": counters,
+        }
+
     def _ensure_open(self) -> None:
         if self._closed:
             raise ConcurrencyProtocolError("memory manager is closed")

@@ -178,8 +178,10 @@ def run_columnar(
     else:
         acc, pruned, scanned = _run_serial(plan)
 
+    extra = manager.stats.extra
+    extra["scan_rows"] = extra.get("scan_rows", 0) + acc.rows_scanned
+    extra["scan_blocks"] = extra.get("scan_blocks", 0) + scanned
     if zone_tests:
-        extra = manager.stats.extra
         extra["zone_pruned_blocks"] = (
             extra.get("zone_pruned_blocks", 0) + pruned
         )
@@ -262,6 +264,7 @@ class _ScanPlan:
         ctx = _BlockCtx(self.manager, self.source, block, self.params)
         if ctx.idx.size == 0:
             return
+        acc.rows_scanned += int(ctx.idx.size)
         for pred in self.filters:
             arr, __ = ctx.eval(pred)
             ctx.refine(np.asarray(arr, dtype=bool))
@@ -772,6 +775,8 @@ class _Accumulator:
         self.groups: Dict[Any, list] = {}
         self.key_dtypes: Optional[List[Tuple[str, Any]]] = None
         self.agg_dtypes: Optional[List[Tuple[str, Any]]] = None
+        #: Valid rows examined before filtering (scan-volume telemetry).
+        self.rows_scanned = 0
 
     def absorb(self, ctx: _BlockCtx) -> None:
         terminal = self.terminal
@@ -921,6 +926,7 @@ class _Accumulator:
         combine exactly as the serial scan would have produced them.
         """
         self.rows.extend(other.rows)
+        self.rows_scanned += other.rows_scanned
         if other.key_dtypes is not None:
             self.key_dtypes = other.key_dtypes
             self.agg_dtypes = other.agg_dtypes

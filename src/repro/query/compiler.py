@@ -92,6 +92,8 @@ from repro.schema.fields import (
 
 _CACHE: Dict[tuple, "_Compiled"] = {}
 _CACHE_LOCK = threading.Lock()
+_CACHE_HITS = 0
+_CACHE_MISSES = 0
 
 
 class CompileError(TypeError):
@@ -149,14 +151,18 @@ def get_compiled(query: Query, flavor: str) -> "_Compiled":
         getattr(getattr(query.source, "manager", None), "string_dict", False)
     )
     key = (flavor, direct, dicted, query.signature())
+    global _CACHE_HITS, _CACHE_MISSES
     with _CACHE_LOCK:
         hit = _CACHE.get(key)
+        if hit is not None:
+            _CACHE_HITS += 1
     if hit is not None:
         return hit
     generator = _Generator(query, flavor, direct, dicted)
     compiled = generator.build()
     with _CACHE_LOCK:
         _CACHE[key] = compiled
+        _CACHE_MISSES += 1
     return compiled
 
 
@@ -167,8 +173,21 @@ def compiled_source(query: Query, flavor: Optional[str] = None) -> str:
 
 
 def clear_cache() -> None:
+    global _CACHE_HITS, _CACHE_MISSES
     with _CACHE_LOCK:
         _CACHE.clear()
+        _CACHE_HITS = 0
+        _CACHE_MISSES = 0
+
+
+def cache_stats() -> Dict[str, int]:
+    """Hit/miss/size counters of the compiled-function cache."""
+    with _CACHE_LOCK:
+        return {
+            "hits": _CACHE_HITS,
+            "misses": _CACHE_MISSES,
+            "size": len(_CACHE),
+        }
 
 
 def _materialise_insets(

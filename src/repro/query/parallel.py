@@ -249,4 +249,9 @@ def run_parallel(plan, workers: int):
     acc = plan.make_accumulator()
     for __, partial in partials:
         acc.merge(partial)
+    extra = manager.stats.extra
+    extra["morsels_dispatched"] = (
+        extra.get("morsels_dispatched", 0) + len(partials)
+    )
+    extra["parallel_scans"] = extra.get("parallel_scans", 0) + 1
     return acc, pruned, scanned

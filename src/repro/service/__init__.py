@@ -1,0 +1,44 @@
+"""Concurrent query service over self-managed collections.
+
+The service layer turns the query engines into a serving system:
+
+``metrics``
+    Counters, gauges and latency histograms with Prometheus-style text
+    exposition, instrumented through the memory core and query engines.
+``session``
+    Session registry; every session holds an :class:`EpochLease` with a
+    watchdog so a dead client cannot wedge limbo reclamation.
+``admission``
+    Bounded admission controller with per-class timeouts and explicit
+    ``OVERLOADED`` load-shedding.
+``plancache``
+    Prepared-plan cache keyed on (query, layout, encoding, engine).
+``protocol``
+    Length-prefixed JSON wire protocol with exact value round-trips.
+``server`` / ``client``
+    Threaded TCP server (``repro serve``) and client library.
+
+See ``docs/service.md`` for the protocol and policies.
+"""
+
+from repro.service.admission import AdmissionController, OverloadedError
+from repro.service.client import ServiceClient
+from repro.service.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.service.plancache import PlanCache
+from repro.service.server import QueryService, ServiceServer
+from repro.service.session import Session, SessionRegistry
+
+__all__ = [
+    "AdmissionController",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "OverloadedError",
+    "PlanCache",
+    "QueryService",
+    "ServiceClient",
+    "ServiceServer",
+    "Session",
+    "SessionRegistry",
+]

@@ -1,0 +1,149 @@
+"""Client library for the query service.
+
+Synchronous, one socket per client; opens a session (``hello``) on
+connect so every query runs under the session's epoch lease.  Results
+come back as :class:`~repro.query.builder.Result` with exact cell
+values (see ``protocol``), so a client-side result compares equal —
+byte for byte through ``repr`` — with an in-process run.
+
+Usage::
+
+    with ServiceClient("127.0.0.1", 7070) as client:
+        result = client.query("q1", workers=4)
+        print(client.metrics())
+
+Shed requests raise :class:`ServiceOverloadedError`; expired sessions
+raise :class:`ServiceSessionExpired`; everything else a server reports
+raises :class:`ServiceError` with the server's error code.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, Dict, Optional
+
+from repro.query.builder import Result
+from repro.service import protocol
+
+
+class ServiceError(Exception):
+    def __init__(self, code: str, detail: str = "") -> None:
+        super().__init__(f"{code}: {detail}" if detail else code)
+        self.code = code
+        self.detail = detail
+
+
+class ServiceOverloadedError(ServiceError):
+    def __init__(self, reason: str, queue_class: str) -> None:
+        super().__init__("OVERLOADED", reason)
+        self.reason = reason
+        self.queue_class = queue_class
+
+
+class ServiceSessionExpired(ServiceError):
+    def __init__(self, detail: str = "") -> None:
+        super().__init__("LEASE_EXPIRED", detail)
+
+
+class ServiceClient:
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 7070,
+        timeout: Optional[float] = 30.0,
+        open_session: bool = True,
+        lease_ttl: Optional[float] = None,
+    ) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self.session: Optional[str] = None
+        self.lease_ttl: Optional[float] = None
+        if open_session:
+            reply = self.call({"op": "hello", "ttl": lease_ttl})
+            self.session = reply["session"]
+            self.lease_ttl = reply["lease_ttl"]
+
+    # -- low level -----------------------------------------------------
+
+    def call(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        """Send one request, await the response, raise on error."""
+        protocol.send_message(self._sock, message)
+        reply = protocol.recv_message(self._sock)
+        if reply is None:
+            raise ServiceError("DISCONNECTED", "server closed the connection")
+        if reply.get("ok"):
+            return reply
+        code = reply.get("error", "ERROR")
+        if code == "OVERLOADED":
+            raise ServiceOverloadedError(
+                reply.get("reason", ""), reply.get("queue_class", "")
+            )
+        if code == "LEASE_EXPIRED":
+            raise ServiceSessionExpired(reply.get("detail", ""))
+        raise ServiceError(code, reply.get("detail", ""))
+
+    # -- operations ----------------------------------------------------
+
+    def ping(self) -> bool:
+        return bool(self.call({"op": "ping"}).get("pong"))
+
+    def query(
+        self,
+        name: str,
+        engine: str = "compiled",
+        flavor: Optional[str] = None,
+        workers: int = 1,
+        prune: bool = True,
+        params: Optional[Dict[str, Any]] = None,
+        queue_class: str = "default",
+    ) -> Result:
+        message: Dict[str, Any] = {
+            "op": "query",
+            "query": name,
+            "engine": engine,
+            "workers": workers,
+            "prune": prune,
+            "class": queue_class,
+        }
+        if flavor is not None:
+            message["flavor"] = flavor
+        if params is not None:
+            message["params"] = protocol.encode_value(params)
+        if self.session is not None:
+            message["session"] = self.session
+        reply = self.call(message)
+        return Result(reply["columns"], protocol.decode_rows(reply["rows"]))
+
+    def metrics(self) -> str:
+        """Scrape the Prometheus-format metrics exposition."""
+        return self.call({"op": "metrics"})["text"]
+
+    def info(self) -> Dict[str, Any]:
+        reply = self.call({"op": "info"})
+        return {
+            "telemetry": protocol.decode_value(reply["telemetry"]),
+            "plan_cache": reply["plan_cache"],
+        }
+
+    def shutdown_server(self) -> None:
+        protocol.send_message(self._sock, {"op": "shutdown"})
+        protocol.recv_message(self._sock)
+
+    def close(self) -> None:
+        if self._sock.fileno() < 0:
+            return
+        if self.session is not None:
+            try:
+                self.call({"op": "bye", "session": self.session})
+            except (ServiceError, OSError):
+                pass
+            self.session = None
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,85 @@
+"""Prepared-plan cache keyed on (query, layout, encoding, engine).
+
+Query plans are parameterised at run time (``Query.run(params=...)``),
+so one built plan serves every request for the same query shape.  The
+cache sits above the compiler's compiled-function cache: a plan-cache
+hit skips plan construction entirely, and because the underlying
+``Query.signature()`` is stable, repeated compiles across sessions also
+hit ``repro.query.compiler._CACHE``.  Hit/miss counters feed the
+service metrics registry.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Dict, Tuple
+
+PlanKey = Tuple[str, str, str, str]
+
+
+class PlanCache:
+    def __init__(self, metrics=None) -> None:
+        self._lock = threading.Lock()
+        self._plans: Dict[PlanKey, Any] = {}
+        self._hits = 0
+        self._misses = 0
+        if metrics is not None:
+            self._hit_counter = metrics.counter(
+                "service_plan_cache_hits_total", "Prepared-plan cache hits"
+            )
+            self._miss_counter = metrics.counter(
+                "service_plan_cache_misses_total", "Prepared-plan cache misses"
+            )
+            metrics.gauge(
+                "service_plan_cache_size",
+                "Prepared plans currently cached",
+                callback=lambda: float(self.size),
+            )
+        else:
+            self._hit_counter = self._miss_counter = None
+
+    @staticmethod
+    def key_for(
+        query_name: str, layout: str, encoding: str, engine: str
+    ) -> PlanKey:
+        return (query_name, layout, encoding, engine)
+
+    def get_or_build(self, key: PlanKey, build: Callable[[], Any]) -> Any:
+        with self._lock:
+            plan = self._plans.get(key)
+            if plan is not None:
+                self._hits += 1
+                hit = True
+            else:
+                hit = False
+        if hit:
+            if self._hit_counter is not None:
+                self._hit_counter.inc(query=key[0])
+            return plan
+        # Build outside the lock (plan construction can be slow); a racing
+        # builder for the same key is harmless — last write wins and both
+        # plans are equivalent.
+        plan = build()
+        with self._lock:
+            self._plans[key] = plan
+            self._misses += 1
+        if self._miss_counter is not None:
+            self._miss_counter.inc(query=key[0])
+        return plan
+
+    def invalidate(self) -> None:
+        with self._lock:
+            self._plans.clear()
+
+    @property
+    def size(self) -> int:
+        with self._lock:
+            return len(self._plans)
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "hits": self._hits,
+                "misses": self._misses,
+                "size": len(self._plans),
+            }

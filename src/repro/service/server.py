@@ -1,0 +1,423 @@
+"""The query service: request handling, churn mutator, TCP server.
+
+:class:`QueryService` is transport-independent — it maps request dicts
+to response dicts, so tests can drive it in-process and the TCP layer
+stays a thin framing loop.  :class:`ServiceServer` wraps it in a
+threaded ``socket`` server speaking the length-prefixed JSON protocol
+(one thread per connection; admission control, not the thread count,
+bounds concurrent query execution).
+
+Error taxonomy (the ``error`` field of a ``{"ok": false}`` response):
+
+``OVERLOADED``
+    Shed by admission control; ``reason`` is ``queue_full`` or
+    ``timed_out``.  Never a silent drop — the client sees every shed.
+``LEASE_EXPIRED``
+    The session's epoch lease was revoked by the watchdog; open a new
+    session.
+``BAD_REQUEST``
+    Unknown op/query or malformed arguments.
+``INTERNAL``
+    Unexpected exception during execution (with a detail string).
+"""
+
+from __future__ import annotations
+
+import random
+import socket
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.schema import Int64Field, Tabular, VarStringField
+from repro.service import protocol
+from repro.service.admission import AdmissionController, OverloadedError
+from repro.service.metrics import (
+    MetricsRegistry,
+    engine_snapshot,
+    instrument_manager,
+)
+from repro.service.plancache import PlanCache
+from repro.service.session import (
+    DEFAULT_LEASE_TTL,
+    SessionExpiredError,
+    SessionRegistry,
+)
+
+
+class _ServiceChurn(Tabular):
+    """Scratch schema the background mutator churns.
+
+    Lives in its own collection on the served manager, so mutations
+    exercise allocation, limbo, epoch advancement and compaction under
+    live query traffic without perturbing any TPC-H answer.
+    """
+
+    seq = Int64Field()
+    tag = VarStringField()
+
+
+class ChurnMutator:
+    """Background add/remove churn against the served manager."""
+
+    def __init__(
+        self,
+        manager,
+        high_water: int = 512,
+        compact_every: int = 2000,
+        seed: int = 7,
+    ) -> None:
+        from repro.core.collection import Collection
+
+        self.collection = Collection(
+            _ServiceChurn, manager, name="_service_churn"
+        )
+        self.manager = manager
+        self.high_water = high_water
+        self.compact_every = compact_every
+        self._rng = random.Random(seed)
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self.ops = 0
+
+    def start(self) -> None:
+        self._thread = threading.Thread(
+            target=self._loop, name="service-churn", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+
+    def _loop(self) -> None:
+        handles: List[Any] = []
+        seq = 0
+        tags = ["alpha", "bravo", "charlie", "delta", "echo", "foxtrot"]
+        while not self._stop.is_set():
+            seq += 1
+            tag = tags[self._rng.randrange(len(tags))] + str(seq % 97)
+            handles.append(self.collection.add(seq=seq, tag=tag))
+            if len(handles) > self.high_water:
+                # Remove from a random prefix position so blocks develop
+                # real limbo fragmentation, not pure FIFO reuse.
+                idx = self._rng.randrange(len(handles) // 2 + 1)
+                self.collection.remove(handles.pop(idx))
+            self.ops += 1
+            if self.ops % 64 == 0:
+                self.manager.advance_epoch()
+            if self.ops % self.compact_every == 0:
+                self.collection.compact(occupancy_threshold=0.6)
+
+
+class QueryService:
+    """Transport-independent request handler."""
+
+    def __init__(
+        self,
+        collections: Dict[str, Any],
+        manager=None,
+        lease_ttl: float = DEFAULT_LEASE_TTL,
+        max_concurrency: int = 8,
+        queue_depth: int = 32,
+        class_timeouts: Optional[Dict[str, float]] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.collections = {
+            k: v for k, v in collections.items() if not k.startswith("_")
+        }
+        self.manager = manager or collections.get("_manager")
+        if self.manager is None:
+            raise ValueError("a memory manager is required")
+        self.metrics = metrics or MetricsRegistry()
+        instrument_manager(self.metrics, self.manager)
+        engine_snapshot(self.metrics)
+        self.sessions = SessionRegistry(
+            self.manager, lease_ttl=lease_ttl, metrics=self.metrics
+        )
+        self.admission = AdmissionController(
+            max_concurrency=max_concurrency,
+            queue_depth=queue_depth,
+            class_timeouts=class_timeouts,
+            metrics=self.metrics,
+        )
+        self.plans = PlanCache(metrics=self.metrics)
+        self._requests = self.metrics.counter(
+            "service_requests_total", "Requests handled, by op and status"
+        )
+        self._latency = self.metrics.histogram(
+            "service_request_seconds", "Request handling latency, by op"
+        )
+        self.churn: Optional[ChurnMutator] = None
+
+    # -- layout/encoding fingerprint for plan-cache keys ---------------
+
+    def _layout(self) -> str:
+        for coll in self.collections.values():
+            return getattr(coll, "compiled_flavor", "smc-unsafe")
+        return "smc-unsafe"
+
+    def _encoding(self) -> str:
+        return "dict" if getattr(self.manager, "string_dict", False) else "plain"
+
+    # -- churn ---------------------------------------------------------
+
+    def start_churn(self, **kwargs) -> ChurnMutator:
+        if self.churn is None:
+            self.churn = ChurnMutator(self.manager, **kwargs)
+            self.churn.start()
+        return self.churn
+
+    def stop_churn(self) -> None:
+        if self.churn is not None:
+            self.churn.stop()
+            self.churn = None
+
+    # -- request dispatch ----------------------------------------------
+
+    def handle(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        op = message.get("op")
+        start = time.perf_counter()
+        try:
+            if op == "hello":
+                response = self._op_hello(message)
+            elif op == "bye":
+                response = self._op_bye(message)
+            elif op == "ping":
+                response = {"ok": True, "pong": True}
+            elif op == "query":
+                response = self._op_query(message)
+            elif op == "metrics":
+                response = {"ok": True, "text": self.metrics.expose()}
+            elif op == "info":
+                response = {
+                    "ok": True,
+                    "telemetry": protocol.encode_value(
+                        self.manager.telemetry()
+                    ),
+                    "plan_cache": self.plans.stats(),
+                }
+            else:
+                response = {
+                    "ok": False,
+                    "error": "BAD_REQUEST",
+                    "detail": f"unknown op {op!r}",
+                }
+        except OverloadedError as exc:
+            response = {
+                "ok": False,
+                "error": "OVERLOADED",
+                "reason": exc.reason,
+                "queue_class": exc.queue_class,
+            }
+        except SessionExpiredError as exc:
+            response = {
+                "ok": False,
+                "error": "LEASE_EXPIRED",
+                "detail": str(exc),
+            }
+        except Exception as exc:  # noqa: BLE001 - wire boundary
+            response = {
+                "ok": False,
+                "error": "INTERNAL",
+                "detail": f"{type(exc).__name__}: {exc}",
+            }
+        elapsed = time.perf_counter() - start
+        status = (
+            "ok" if response.get("ok") else response.get("error", "ERROR")
+        )
+        self._requests.inc(op=str(op), status=status)
+        self._latency.observe(elapsed, op=str(op))
+        return response
+
+    # -- ops -----------------------------------------------------------
+
+    def _op_hello(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        ttl = message.get("ttl")
+        session = self.sessions.create(float(ttl) if ttl else None)
+        return {
+            "ok": True,
+            "session": session.session_id,
+            "lease_ttl": session.ttl,
+        }
+
+    def _op_bye(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        released = self.sessions.release(str(message.get("session", "")))
+        return {"ok": True, "released": released}
+
+    def _op_query(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        from repro.tpch.queries import DEFAULT_PARAMS, EXTRA_QUERIES, QUERIES
+
+        name = message.get("query")
+        builder = QUERIES.get(name) or EXTRA_QUERIES.get(name)
+        if builder is None:
+            known = sorted(QUERIES) + sorted(EXTRA_QUERIES)
+            return {
+                "ok": False,
+                "error": "BAD_REQUEST",
+                "detail": f"unknown query {name!r}; choose from {known}",
+            }
+        engine = message.get("engine", "compiled")
+        flavor = message.get("flavor")
+        workers = int(message.get("workers") or 1)
+        prune = bool(message.get("prune", True))
+        queue_class = str(message.get("class", "default"))
+        params = dict(DEFAULT_PARAMS)
+        overrides = message.get("params")
+        if overrides:
+            params.update(protocol.decode_value(overrides))
+
+        session = None
+        session_id = message.get("session")
+        if session_id is not None:
+            session = self.sessions.require(str(session_id))
+            session.touch()
+
+        engine_key = f"{engine}:{flavor or ''}:w{workers}:p{int(prune)}"
+        key = PlanCache.key_for(
+            str(name), self._layout(), self._encoding(), engine_key
+        )
+        plan = self.plans.get_or_build(
+            key, lambda: builder(self.collections)
+        )
+
+        self.admission.acquire(queue_class)
+        try:
+            if session is not None:
+                session.enter()
+            try:
+                start = time.perf_counter()
+                result = plan.run(
+                    engine=engine,
+                    params=params,
+                    flavor=flavor,
+                    workers=workers,
+                    prune=prune,
+                )
+                elapsed_ms = (time.perf_counter() - start) * 1000
+            finally:
+                if session is not None:
+                    session.exit()
+        finally:
+            self.admission.release()
+        return {
+            "ok": True,
+            "columns": list(result.columns),
+            "rows": protocol.encode_rows(result.rows),
+            "elapsed_ms": elapsed_ms,
+        }
+
+    def close(self) -> None:
+        self.stop_churn()
+        self.sessions.close()
+
+
+class ServiceServer:
+    """Threaded TCP front end: one connection handler thread per client."""
+
+    def __init__(
+        self,
+        service: QueryService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.service = service
+        self._listener = socket.create_server((host, port))
+        self._listener.settimeout(0.2)
+        self.host, self.port = self._listener.getsockname()[:2]
+        self._stop = threading.Event()
+        self._accept_thread: Optional[threading.Thread] = None
+        self._conn_threads: List[threading.Thread] = []
+        self._conns: List[socket.socket] = []
+        self._lock = threading.Lock()
+
+    def start(self) -> "ServiceServer":
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="service-accept", daemon=True
+        )
+        self._accept_thread.start()
+        return self
+
+    def _accept_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                conn, __ = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+            thread = threading.Thread(
+                target=self._serve_connection,
+                args=(conn,),
+                name="service-conn",
+                daemon=True,
+            )
+            with self._lock:
+                self._conn_threads = [
+                    t for t in self._conn_threads if t.is_alive()
+                ]
+                self._conn_threads.append(thread)
+                self._conns.append(conn)
+            thread.start()
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        try:
+            conn.settimeout(None)
+            while not self._stop.is_set():
+                try:
+                    message = protocol.recv_message(conn)
+                except (protocol.ProtocolError, OSError):
+                    break
+                if message is None:
+                    break
+                if message.get("op") == "shutdown":
+                    protocol.send_message(conn, {"ok": True, "stopping": True})
+                    # Stop from a helper thread: stop() joins connection
+                    # threads, so it must not run on one.
+                    threading.Thread(target=self.stop, daemon=True).start()
+                    break
+                response = self.service.handle(message)
+                try:
+                    protocol.send_message(conn, response)
+                except OSError:
+                    break
+        finally:
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def stop(self) -> None:
+        if self._stop.is_set():
+            return
+        self._stop.set()
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5.0)
+        with self._lock:
+            threads = list(self._conn_threads)
+            conns = list(self._conns)
+            self._conns.clear()
+        # Unblock handler threads parked in recv().
+        for conn in conns:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                conn.close()
+            except OSError:
+                pass
+        for thread in threads:
+            thread.join(timeout=5.0)
+        self.service.close()
+
+    def __enter__(self) -> "ServiceServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

@@ -1,0 +1,493 @@
+"""Query service: metrics, admission, leases, protocol, differential TCP.
+
+The differential tests pin the service's core contract: every supported
+TPC-H query returns byte-identical results through the TCP service —
+any worker count, with or without a concurrent churn mutator — as via
+the in-process engine.  The lease-watchdog tests pin the reclamation
+guarantee: a dead or stalled client session cannot block epoch
+advancement, and limbo slots become reclaimable once its lease expires.
+"""
+
+import datetime
+import threading
+import time
+from decimal import Decimal
+
+import pytest
+
+from repro.memory.manager import MemoryManager
+from repro.service.admission import AdmissionController, OverloadedError
+from repro.service.metrics import (
+    Histogram,
+    MetricsRegistry,
+    instrument_manager,
+)
+from repro.service.plancache import PlanCache
+from repro.service.session import SessionExpiredError, SessionRegistry
+from repro.service import protocol
+
+
+# ----------------------------------------------------------------------
+# Metrics registry
+# ----------------------------------------------------------------------
+
+
+def test_counter_and_labels():
+    reg = MetricsRegistry()
+    c = reg.counter("requests_total", "requests")
+    c.inc()
+    c.inc(2, op="query")
+    assert c.value() == 1
+    assert c.value(op="query") == 2
+    with pytest.raises(ValueError):
+        c.inc(-1)
+    text = reg.expose()
+    assert "# TYPE requests_total counter" in text
+    assert 'requests_total{op="query"} 2' in text
+
+
+def test_gauge_callback_and_series():
+    reg = MetricsRegistry()
+    g = reg.gauge("depth", "queue depth", callback=lambda: 7.0)
+    assert g.value() == 7.0
+    s = reg.gauge("per_ctx")
+    s.attach_series(lambda: {(("context", "A"),): 3.0})
+    text = reg.expose()
+    assert "depth 7" in text
+    assert 'per_ctx{context="A"} 3' in text
+
+
+def test_histogram_buckets_and_quantiles():
+    h = Histogram("lat", buckets=(0.01, 0.1, 1.0))
+    for v in [0.005] * 50 + [0.05] * 40 + [0.5] * 10:
+        h.observe(v)
+    assert h.count() == 100
+    assert h.quantile(0.5) <= 0.1
+    assert 0.1 <= h.quantile(0.99) <= 1.0
+    samples = "\n".join(h.samples())
+    assert 'lat_bucket{le="0.01"} 50' in samples
+    assert 'lat_bucket{le="+Inf"} 100' in samples
+    assert "lat_count 100" in samples
+
+
+def test_registry_rejects_kind_conflicts():
+    reg = MetricsRegistry()
+    reg.counter("x")
+    with pytest.raises(ValueError):
+        reg.gauge("x")
+    # Same-kind re-registration returns the existing instrument.
+    assert reg.counter("x") is reg.counter("x")
+
+
+def test_instrument_manager_exposes_memory_telemetry(manager):
+    from repro.core.collection import Collection
+    from tests.schemas import TNote
+
+    notes = Collection(TNote, manager=manager)
+    for i in range(20):
+        notes.add(text=f"t{i % 3}", stars=i % 5)
+    reg = MetricsRegistry()
+    instrument_manager(reg, manager)
+    text = reg.expose()
+    assert "smc_global_epoch" in text
+    assert 'smc_context_limbo_fraction{context="TNote"}' in text
+    assert 'smc_string_dict_distinct{collection="TNote"} 3' in text
+    assert "smc_allocations_total 20" in text
+
+
+# ----------------------------------------------------------------------
+# Admission control
+# ----------------------------------------------------------------------
+
+
+def test_admission_bounds_concurrency_and_sheds_on_full_queue():
+    ctl = AdmissionController(max_concurrency=1, queue_depth=0)
+    ctl.acquire()
+    with pytest.raises(OverloadedError) as exc:
+        ctl.acquire()
+    assert exc.value.reason == "queue_full"
+    ctl.release()
+    ctl.acquire()  # slot free again
+    ctl.release()
+
+
+def test_admission_class_timeout_sheds():
+    ctl = AdmissionController(
+        max_concurrency=1,
+        queue_depth=4,
+        class_timeouts={"interactive": 0.05, "default": 0.05},
+    )
+    ctl.acquire()
+    start = time.monotonic()
+    with pytest.raises(OverloadedError) as exc:
+        ctl.acquire("interactive")
+    assert exc.value.reason == "timed_out"
+    assert time.monotonic() - start < 2.0
+    ctl.release()
+
+
+def test_admission_queue_admits_when_slot_frees():
+    ctl = AdmissionController(max_concurrency=1, queue_depth=4)
+    ctl.acquire()
+    admitted = threading.Event()
+
+    def waiter():
+        ctl.acquire("batch")
+        admitted.set()
+        ctl.release()
+
+    t = threading.Thread(target=waiter)
+    t.start()
+    time.sleep(0.05)
+    assert not admitted.is_set()
+    ctl.release()
+    t.join(timeout=5)
+    assert admitted.is_set()
+
+
+def test_admission_metrics_count_sheds():
+    reg = MetricsRegistry()
+    ctl = AdmissionController(max_concurrency=1, queue_depth=0, metrics=reg)
+    ctl.acquire()
+    with pytest.raises(OverloadedError):
+        ctl.acquire("batch")
+    ctl.release()
+    shed = reg.get("service_requests_shed_total")
+    assert shed.value(queue_class="batch", reason="queue_full") == 1
+
+
+# ----------------------------------------------------------------------
+# Plan cache
+# ----------------------------------------------------------------------
+
+
+def test_plan_cache_hits_and_misses():
+    reg = MetricsRegistry()
+    cache = PlanCache(metrics=reg)
+    built = []
+
+    def build():
+        built.append(1)
+        return object()
+
+    key = PlanCache.key_for("q1", "smc-unsafe", "dict", "compiled")
+    a = cache.get_or_build(key, build)
+    b = cache.get_or_build(key, build)
+    assert a is b
+    assert len(built) == 1
+    assert cache.stats() == {"hits": 1, "misses": 1, "size": 1}
+    other = PlanCache.key_for("q1", "columnar", "dict", "compiled")
+    cache.get_or_build(other, build)
+    assert cache.stats()["size"] == 2
+    cache.invalidate()
+    assert cache.stats()["size"] == 0
+
+
+# ----------------------------------------------------------------------
+# Epoch leases + session watchdog (reclamation regression)
+# ----------------------------------------------------------------------
+
+
+def test_lease_pins_epoch_until_revoked(manager):
+    lease = manager.epochs.create_lease("s1")
+    lease.enter()
+    assert manager.epochs.try_advance()  # lease still at current epoch
+    assert not manager.epochs.try_advance()  # now it lags: pinned
+    assert lease.revoke()
+    assert manager.epochs.try_advance()
+    # Post-revocation interactions are safe no-ops / errors.
+    lease.exit()
+    with pytest.raises(Exception):
+        lease.enter()
+
+
+def test_forget_dead_threads_spares_idle_leases(manager):
+    lease = manager.epochs.create_lease("idle")
+    manager.epochs.forget_dead_threads()
+    assert lease.epoch is not None  # still registered
+    lease.release()
+    assert manager.epochs.lease_count() == 0
+
+
+def test_watchdog_expires_stalled_session_and_unblocks_reclamation():
+    """A stalled session's lease cannot wedge limbo reclamation."""
+    from repro.core.collection import Collection
+    from tests.schemas import TNote
+
+    manager = MemoryManager(block_shift=10, reclamation_threshold=0.0)
+    registry = SessionRegistry(manager, lease_ttl=0.05)
+    try:
+        notes = Collection(TNote, manager=manager)
+        handles = [notes.add(text=f"x{i}", stars=0) for i in range(64)]
+
+        session = registry.create()
+        session.enter()  # client enters a query... and stalls forever
+
+        manager.advance_epoch()  # lease was current: one advance succeeds
+        assert not manager.advance_epoch()  # now pinned by the lease
+
+        for h in handles[:48]:
+            notes.remove(h)  # limbo piles up behind the stuck lease
+        assert not manager.advance_epoch()
+
+        # Watchdog: session idle past TTL gets expired, lease revoked
+        # (the background sweeper may beat the manual sweep; either way
+        # the session must end up expired).
+        deadline = time.monotonic() + 5.0
+        while not session.expired and time.monotonic() < deadline:
+            registry.sweep()
+            time.sleep(0.01)
+        assert session.expired
+        with pytest.raises(SessionExpiredError):
+            registry.require(session.session_id)
+
+        # Epoch advances again and limbo becomes reclaimable.
+        assert manager.advance_epoch()
+        assert manager.advance_epoch()
+        before = manager.stats.limbo_reuses
+        for i in range(48):
+            notes.add(text=f"y{i}", stars=1)
+        assert manager.stats.limbo_reuses > before
+    finally:
+        registry.close()
+        manager.close()
+
+
+def test_session_release_drops_lease(manager):
+    registry = SessionRegistry(manager, lease_ttl=30.0)
+    try:
+        session = registry.create()
+        assert manager.epochs.lease_count() == 1
+        assert registry.release(session.session_id)
+        assert manager.epochs.lease_count() == 0
+        assert not registry.release(session.session_id)
+    finally:
+        registry.close()
+
+
+# ----------------------------------------------------------------------
+# Protocol codec
+# ----------------------------------------------------------------------
+
+
+def test_protocol_value_roundtrip_exact():
+    rows = [
+        (Decimal("123.4500"), datetime.date(1998, 9, 2), 1.5, 7, "x", None),
+        (Decimal("-0.01"), datetime.date(1992, 1, 1), 0.1 + 0.2, -1, "", True),
+    ]
+    decoded = protocol.decode_rows(protocol.encode_rows(rows))
+    assert repr(decoded) == repr(rows)
+    for (a, b) in zip(decoded[0], rows[0]):
+        assert type(a) is type(b) or b is None
+
+
+def test_protocol_framing_roundtrip():
+    msg = {"op": "query", "rows": [[{"$d": "1.5"}]]}
+    frame = protocol.dump_message(msg)
+    assert protocol.load_message(frame[4:]) == msg
+    with pytest.raises(protocol.ProtocolError):
+        protocol.load_message(b"[1, 2]")  # not an object
+    with pytest.raises(protocol.ProtocolError):
+        protocol.load_message(b"\xff\xfe")
+
+
+# ----------------------------------------------------------------------
+# End-to-end service (in-process handler + TCP)
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def tpch_service(tpch_tiny):
+    """A served TPC-H dataset plus in-process baselines for every query."""
+    from repro.service.server import QueryService, ServiceServer
+    from repro.tpch.loader import load_smc
+    from repro.tpch.queries import DEFAULT_PARAMS, EXTRA_QUERIES, QUERIES
+
+    collections = load_smc(tpch_tiny)
+    manager = collections["_manager"]
+    plain = {k: v for k, v in collections.items() if not k.startswith("_")}
+    builders = dict(QUERIES)
+    builders.update(EXTRA_QUERIES)
+    baselines = {
+        name: builder(plain).run(engine="compiled", params=DEFAULT_PARAMS)
+        for name, builder in builders.items()
+    }
+    service = QueryService(collections, manager, max_concurrency=4)
+    server = ServiceServer(service).start()
+    yield {
+        "server": server,
+        "service": service,
+        "manager": manager,
+        "baselines": baselines,
+    }
+    server.stop()
+    manager.close()
+
+
+def _assert_identical(result, baseline):
+    assert list(result.columns) == list(baseline.columns)
+    assert repr(result.rows) == repr(baseline.rows)
+
+
+@pytest.mark.parametrize("workers", [1, 2])
+def test_differential_all_queries_over_tcp(tpch_service, workers):
+    from repro.service.client import ServiceClient
+
+    with ServiceClient(port=tpch_service["server"].port) as client:
+        for name, baseline in tpch_service["baselines"].items():
+            _assert_identical(client.query(name, workers=workers), baseline)
+
+
+def test_differential_under_concurrent_mutators(tpch_service):
+    """Byte-identical TPC-H answers while a mutator churns the manager."""
+    from repro.service.client import ServiceClient
+
+    service = tpch_service["service"]
+    service.start_churn(high_water=128, compact_every=500)
+    try:
+        with ServiceClient(port=tpch_service["server"].port) as client:
+            for __ in range(3):
+                for name, baseline in tpch_service["baselines"].items():
+                    _assert_identical(client.query(name, workers=2), baseline)
+        assert service.churn.ops > 0
+    finally:
+        service.stop_churn()
+
+
+def test_concurrent_clients_differential(tpch_service):
+    from repro.service.client import ServiceClient
+
+    port = tpch_service["server"].port
+    baselines = tpch_service["baselines"]
+    failures = []
+
+    def worker(names):
+        try:
+            with ServiceClient(port=port) as client:
+                for name in names:
+                    _assert_identical(client.query(name), baselines[name])
+        except Exception as exc:  # noqa: BLE001 - collected for assertion
+            failures.append(exc)
+
+    names = list(baselines)
+    threads = [
+        threading.Thread(target=worker, args=(names[i::4],)) for i in range(4)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=60)
+    assert not failures
+
+
+def test_unknown_query_and_op_are_bad_requests(tpch_service):
+    service = tpch_service["service"]
+    reply = service.handle({"op": "query", "query": "q99"})
+    assert reply["error"] == "BAD_REQUEST"
+    reply = service.handle({"op": "frobnicate"})
+    assert reply["error"] == "BAD_REQUEST"
+
+
+def test_expired_session_gets_lease_expired(tpch_service):
+    service = tpch_service["service"]
+    hello = service.handle({"op": "hello", "ttl": 0.01})
+    assert hello["ok"]
+    time.sleep(0.02)
+    assert service.sessions.sweep() >= 1
+    reply = service.handle(
+        {"op": "query", "query": "q6", "session": hello["session"]}
+    )
+    assert reply["error"] == "LEASE_EXPIRED"
+
+
+def test_killed_client_cannot_wedge_epoch(tpch_service):
+    """Abruptly closing a client's socket must not pin the epoch forever."""
+    import socket as socket_mod
+
+    from repro.service import protocol as proto
+
+    server = tpch_service["server"]
+    manager = tpch_service["manager"]
+    sock = socket_mod.create_connection(("127.0.0.1", server.port))
+    proto.send_message(sock, {"op": "hello", "ttl": 0.05})
+    reply = proto.recv_message(sock)
+    session_id = reply["session"]
+    # Simulate a client killed mid-flight: run one query (so the session
+    # is live), then vanish without bye.
+    proto.send_message(
+        sock, {"op": "query", "query": "q6", "session": session_id}
+    )
+    proto.recv_message(sock)
+    sock.close()
+
+    service = tpch_service["service"]
+    deadline = time.monotonic() + 5.0
+    while time.monotonic() < deadline:
+        if service.sessions.get(session_id) is None:
+            break
+        service.sessions.sweep()
+        time.sleep(0.02)
+    assert service.sessions.get(session_id) is None
+    # Epoch advancement is unobstructed.
+    assert manager.advance_epoch()
+    assert manager.advance_epoch()
+
+
+def test_service_sheds_with_explicit_overloaded(tpch_tiny):
+    from repro.service.client import ServiceClient, ServiceOverloadedError
+    from repro.service.server import QueryService, ServiceServer
+    from repro.tpch.loader import load_smc
+
+    collections = load_smc(tpch_tiny)
+    manager = collections["_manager"]
+    service = QueryService(
+        collections,
+        manager,
+        max_concurrency=1,
+        queue_depth=0,
+        class_timeouts={"default": 0.05},
+    )
+    server = ServiceServer(service).start()
+    try:
+        # Hold the only slot so every query is shed immediately.
+        service.admission.acquire()
+        with ServiceClient(port=server.port) as client:
+            with pytest.raises(ServiceOverloadedError) as exc:
+                client.query("q6")
+            assert exc.value.reason == "queue_full"
+        service.admission.release()
+        with ServiceClient(port=server.port) as client:
+            assert client.query("q6").rows  # recovers after release
+    finally:
+        server.stop()
+        manager.close()
+
+
+def test_metrics_scrape_over_tcp(tpch_service):
+    from repro.service.client import ServiceClient
+
+    with ServiceClient(port=tpch_service["server"].port) as client:
+        client.query("q1")
+        text = client.metrics()
+    assert "# TYPE service_requests_total counter" in text
+    assert "smc_global_epoch" in text
+    assert "service_plan_cache_misses_total" in text
+    assert "smc_compiled_cache_hits_total" in text
+    assert 'service_request_seconds_bucket{op="query",le="+Inf"}' in text
+    assert "smc_scan_rows_total" in text
+
+
+def test_info_reports_plan_cache_and_telemetry(tpch_service):
+    from repro.service.client import ServiceClient
+
+    with ServiceClient(port=tpch_service["server"].port) as client:
+        client.query("q3")
+        client.query("q3")
+        info = client.info()
+    tel = info["telemetry"]
+    assert tel["global_epoch"] >= 0
+    assert any(ctx["name"] == "Lineitem" for ctx in tel["contexts"])
+    assert tel["string_dicts"]["Lineitem"] > 0
+    stats = info["plan_cache"]
+    assert stats["misses"] >= 1
+    assert stats["hits"] >= 1

@@ -9,7 +9,7 @@ from repro.core.collection import Collection
 from repro.io import SnapshotError, load_collections, save_collections
 from repro.memory.manager import MemoryManager
 
-from tests.schemas import TEverything, TNode, TOrder, TPerson
+from tests.schemas import TEverything, TNode, TNote, TOrder, TPerson
 
 
 @pytest.fixture
@@ -135,3 +135,47 @@ def test_tpch_snapshot_roundtrip(tpch_tiny, tmp_path):
     after = sorted(QUERIES["q5"](loaded).run(params=DEFAULT_PARAMS).rows)
     assert before == after
     loaded["_manager"].close()
+
+
+def test_dict_varstring_roundtrip_after_compaction(snap_path):
+    """Dict-encoded varstring columns survive save/load after compaction.
+
+    Compaction relocates slots holding dictionary codes and the snapshot
+    writer stores decoded text; this pins the full pipeline: intern,
+    churn (so codes enter and leave the dictionary), compact, save,
+    reload with dict encoding on *and* off.  Small blocks force the rows
+    across several blocks so compaction really relocates.
+    """
+    manager = MemoryManager(block_shift=10, reclamation_threshold=0.99)
+    assert manager.string_dict
+    notes = Collection(TNote, manager=manager)
+    handles = []
+    for i in range(400):
+        handles.append(notes.add(text=f"tag-{i % 7}", stars=i % 5))
+    # Remove most of a prefix so compaction has something to relocate and
+    # several dictionary codes drop to zero refcount.
+    for h in handles[:300]:
+        notes.remove(h)
+    for __ in range(4):
+        manager.advance_epoch()
+    moved = notes.compact(occupancy_threshold=0.9)
+    assert moved > 0
+    expected = sorted((h.text, h.stars) for h in notes)
+    assert len(expected) == 100
+
+    save_collections(snap_path, {"notes": notes})
+
+    loaded = load_collections(snap_path, string_dict=True)
+    ln = loaded["notes"]
+    assert ln.strdict is not None
+    assert sorted((h.text, h.stars) for h in ln) == expected
+    # Distinct count reflects only surviving strings.
+    assert ln.strdict.live_count == len({t for t, __ in expected})
+    loaded["_manager"].close()
+
+    plain = load_collections(snap_path, string_dict=False)
+    lp = plain["notes"]
+    assert lp.strdict is None
+    assert sorted((h.text, h.stars) for h in lp) == expected
+    plain["_manager"].close()
+    manager.close()
