@@ -1,0 +1,422 @@
+"""Durability subsystem benchmark: WAL cost, recovery time, crash matrix.
+
+Three measurements plus two correctness gates (exit 1 on violation):
+
+* **Mutation throughput** — adds/updates/removes per second against a
+  plain in-memory collection versus a durable store under each WAL
+  fsync policy (``none`` / ``commit`` / ``always``), so the log's cost
+  is quantified rather than assumed.
+* **Recovery time vs log length** — how long ``DurableStore.open``
+  takes to replay tails of increasing length.
+* **Differential gate** — TPC-H loaded into a durable store, mutated,
+  checkpointed mid-stream, then recovered into a fresh manager: every
+  query in the mix must return byte-identical results live and after
+  recovery.
+* **Crash matrix** (always on with ``--smoke``) — the sanitizer's fault
+  plan kills the store at every interesting point (mid-append,
+  pre-fsync with power loss, checkpoint begin/renames); each crash must
+  recover to a state whose TPC-H results are byte-identical to the
+  never-crashed reference.
+
+Usage::
+
+    python benchmarks/bench_durability.py            # full run
+    python benchmarks/bench_durability.py --smoke    # CI-sized run
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import platform
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+QUERY_MIX = ["q1", "q6", "q3", "q12", "q14"]
+
+#: (sanitizer event, power_loss) pairs the crash matrix injects.
+CRASH_POINTS = [
+    ("wal.append.mid", False),
+    ("wal.fsync", True),
+    ("checkpoint.begin", False),
+    ("checkpoint.snapshot_rename", False),
+    ("checkpoint.manifest_rename", False),
+]
+
+
+def _canonical(result):
+    return (tuple(result.columns), sorted(map(repr, result.rows)))
+
+
+def _define_schema():
+    from repro.schema import Int64Field, Tabular, VarStringField
+
+    class DurBenchRow(Tabular):
+        k = Int64Field()
+        val = Int64Field()
+        tag = VarStringField()
+
+    return DurBenchRow
+
+
+def _mutate(collection, n, batcher=None):
+    """A fixed add/update/remove-heavy workload of *n* primitive ops."""
+    from contextlib import nullcontext
+
+    handles = []
+    ops = 0
+    i = 0
+    while ops < n:
+        with batcher() if batcher else nullcontext():
+            for __ in range(min(100, n - ops)):
+                i += 1
+                if i % 7 == 0 and handles:
+                    collection.remove(handles.pop(i % len(handles)))
+                elif i % 5 == 0 and handles:
+                    handles[i % len(handles)].val = i
+                else:
+                    handles.append(
+                        collection.add(k=i, val=i * 3, tag=f"tag-{i % 251}")
+                    )
+                ops += 1
+    return ops
+
+
+def bench_mutations(schema, n):
+    from repro.core.collection import Collection
+    from repro.durability import DurableStore
+    from repro.memory.manager import MemoryManager
+
+    records = []
+    # Baseline: no WAL at all.
+    manager = MemoryManager(string_dict=True)
+    coll = Collection(schema, manager=manager)
+    start = time.perf_counter()
+    ops = _mutate(coll, n)
+    elapsed = time.perf_counter() - start
+    manager.close()
+    records.append(
+        {
+            "config": "wal-off",
+            "ops": ops,
+            "elapsed_s": round(elapsed, 4),
+            "ops_per_s": round(ops / elapsed, 1),
+        }
+    )
+    print(f"  wal-off       {ops / elapsed:>10.0f} ops/s")
+
+    for policy in ("none", "commit", "always"):
+        root = tempfile.mkdtemp(prefix=f"durbench-{policy}-")
+        try:
+            manager = MemoryManager(string_dict=True)
+            colls = {
+                "rows": Collection(schema, manager=manager),
+                "_manager": manager,
+            }
+            store = DurableStore.create(
+                root, collections=colls, fsync_policy=policy
+            )
+            start = time.perf_counter()
+            ops = _mutate(colls["rows"], n, batcher=store.batch)
+            elapsed = time.perf_counter() - start
+            stats = store.stats()
+            store.close()
+            manager.close()
+            records.append(
+                {
+                    "config": f"wal-{policy}",
+                    "ops": ops,
+                    "elapsed_s": round(elapsed, 4),
+                    "ops_per_s": round(ops / elapsed, 1),
+                    "wal_bytes": stats["wal_bytes_total"],
+                    "fsyncs": stats["wal_fsyncs_total"],
+                }
+            )
+            print(
+                f"  wal-{policy:<8} {ops / elapsed:>10.0f} ops/s   "
+                f"({stats['wal_bytes_total']} bytes, "
+                f"{stats['wal_fsyncs_total']} fsyncs)"
+            )
+        finally:
+            shutil.rmtree(root, ignore_errors=True)
+    return records
+
+
+def bench_recovery(schema, lengths):
+    from repro.core.collection import Collection
+    from repro.durability import DurableStore
+    from repro.memory.manager import MemoryManager
+
+    records = []
+    for n in lengths:
+        root = tempfile.mkdtemp(prefix="durbench-rec-")
+        try:
+            manager = MemoryManager(string_dict=True)
+            colls = {
+                "rows": Collection(schema, manager=manager),
+                "_manager": manager,
+            }
+            store = DurableStore.create(
+                root, collections=colls, fsync_policy="none"
+            )
+            _mutate(colls["rows"], n, batcher=store.batch)
+            live = sorted((h.k, h.val, h.tag) for h in colls["rows"])
+            store.close()
+            manager.close()
+
+            start = time.perf_counter()
+            reopened = DurableStore.open(root, fsync_policy="none")
+            elapsed = time.perf_counter() - start
+            recovered = sorted(
+                (h.k, h.val, h.tag) for h in reopened.collections["rows"]
+            )
+            replayed = reopened.report.replayed
+            reopened.close()
+            if recovered != live:
+                print(f"RECOVERY MISMATCH at n={n}", file=sys.stderr)
+                return records, 1
+            records.append(
+                {
+                    "log_ops": n,
+                    "replayed_records": replayed,
+                    "recovery_s": round(elapsed, 4),
+                    "records_per_s": round(replayed / elapsed, 1),
+                }
+            )
+            print(
+                f"  {n:>7} ops  ->  {elapsed * 1000:8.1f} ms recovery "
+                f"({replayed} records)"
+            )
+        finally:
+            shutil.rmtree(root, ignore_errors=True)
+    return records, 0
+
+
+def _load_tpch_store(root, sf, schema):
+    """TPC-H in a durable store plus a durable scratch collection."""
+    from repro.core.collection import Collection
+    from repro.durability import DurableStore
+    from repro.tpch.datagen import generate
+    from repro.tpch.loader import load_smc
+
+    data = generate(sf, seed=42)
+    collections = load_smc(data)
+    collections["scratch"] = Collection(
+        schema, manager=collections["_manager"], name="scratch"
+    )
+    store = DurableStore.create(
+        root, collections=collections, fsync_policy="commit"
+    )
+    return store, collections
+
+
+def _run_mix(collections):
+    from repro.tpch.queries import DEFAULT_PARAMS, EXTRA_QUERIES, QUERIES
+
+    builders = dict(QUERIES)
+    builders.update(EXTRA_QUERIES)
+    plain = {k: v for k, v in collections.items() if not k.startswith("_")}
+    return {
+        name: _canonical(
+            builders[name](plain).run(engine="compiled", params=DEFAULT_PARAMS)
+        )
+        for name in QUERY_MIX
+    }
+
+
+def bench_differential(schema, sf, n_mutations):
+    """Mutate + checkpoint mid-stream, recover, compare TPC-H answers."""
+    from repro.durability import recover
+
+    root = tempfile.mkdtemp(prefix="durbench-diff-")
+    mismatches = 0
+    try:
+        store, collections = _load_tpch_store(root, sf, schema)
+        _mutate(collections["scratch"], n_mutations // 2, batcher=store.batch)
+        store.checkpoint()
+        _mutate(collections["scratch"], n_mutations // 2, batcher=store.batch)
+        reference = _run_mix(collections)
+        scratch_live = sorted(
+            (h.k, h.val, h.tag) for h in collections["scratch"]
+        )
+        store.close()
+        collections["_manager"].close()
+
+        recovered, report = recover(root)
+        answers = _run_mix(recovered)
+        scratch_rec = sorted(
+            (h.k, h.val, h.tag) for h in recovered["scratch"]
+        )
+        for name in QUERY_MIX:
+            if answers[name] != reference[name]:
+                mismatches += 1
+                print(f"MISMATCH {name} after recovery", file=sys.stderr)
+        if scratch_rec != scratch_live:
+            mismatches += 1
+            print("MISMATCH scratch collection after recovery", file=sys.stderr)
+        recovered["_manager"].close()
+        print(
+            f"  {len(QUERY_MIX)} queries byte-compared after recovery "
+            f"({report.replayed} records replayed): {mismatches} mismatches"
+        )
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+    return mismatches
+
+
+def _crash_after(point, n_mutations):
+    """How many firings of *point* to let pass before crashing.
+
+    ``after`` counts events at the point itself: appends fire per
+    record, fsyncs per group commit, checkpoint points once per
+    checkpoint.
+    """
+    if point == "wal.append.mid":
+        return n_mutations // 3
+    if point == "wal.fsync":
+        return 2
+    return 0
+
+
+def bench_crash_matrix(schema, sf, n_mutations):
+    """Kill the store at each injected point; recovery must be exact."""
+    from repro import sanitizer
+    from repro.durability import recover
+    from repro.errors import InjectedFaultError
+
+    results = []
+    failures = 0
+    for point, power_loss in CRASH_POINTS:
+        root = tempfile.mkdtemp(prefix="durbench-crash-")
+        try:
+            store, collections = _load_tpch_store(root, sf, schema)
+            reference = _run_mix(collections)
+            plan = sanitizer.FaultPlan().crash_at(
+                point,
+                after=_crash_after(point, n_mutations),
+                power_loss=power_loss,
+            )
+            with sanitizer.enabled(faults=plan):
+                crashed = False
+                try:
+                    _mutate(
+                        collections["scratch"],
+                        n_mutations,
+                        batcher=store.batch,
+                    )
+                    store.checkpoint()
+                except InjectedFaultError:
+                    crashed = True
+            # Simulated kill: drop the store without closing, then
+            # recover from what reached the disk.
+            collections["_manager"].close()
+            recovered, report = recover(root)
+            answers = _run_mix(recovered)
+            ok = crashed and all(
+                answers[name] == reference[name] for name in QUERY_MIX
+            )
+            recovered["_manager"].close()
+            if not ok:
+                failures += 1
+            results.append(
+                {
+                    "point": point,
+                    "power_loss": power_loss,
+                    "crashed": crashed,
+                    "recovered_records": report.replayed,
+                    "tpch_identical": ok,
+                }
+            )
+            print(
+                f"  crash at {point:<28} power_loss={power_loss!s:<5} "
+                f"-> {'ok' if ok else 'FAIL'} "
+                f"({report.replayed} records replayed)"
+            )
+        finally:
+            shutil.rmtree(root, ignore_errors=True)
+    return results, failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="CI-sized run")
+    parser.add_argument("--sf", type=float, default=None)
+    parser.add_argument("--mutations", type=int, default=None)
+    parser.add_argument(
+        "--out", default=str(REPO_ROOT / "BENCH_durability.json")
+    )
+    parser.add_argument(
+        "--no-json", action="store_true", help="skip writing the JSON payload"
+    )
+    args = parser.parse_args(argv)
+
+    from repro.bench.harness import bench_scale_factor, write_json_atomic
+
+    if args.smoke:
+        sf = args.sf or 0.002
+        n = args.mutations or 2000
+        rec_lengths = [500, 2000]
+    else:
+        sf = args.sf or bench_scale_factor(0.01)
+        n = args.mutations or 20000
+        rec_lengths = [1000, 5000, 20000]
+
+    schema = _define_schema()
+
+    print(f"mutation throughput ({n} ops per config):")
+    throughput = bench_mutations(schema, n)
+
+    print("recovery time vs log length:")
+    recovery, rec_failures = bench_recovery(schema, rec_lengths)
+
+    print(f"differential gate (TPC-H SF={sf}):")
+    mismatches = bench_differential(schema, sf, n // 4)
+
+    print("crash matrix:")
+    crashes, crash_failures = bench_crash_matrix(schema, sf, max(n // 4, 300))
+
+    if not args.no_json:
+        payload = {
+            "bench": "durability",
+            "scale_factor": sf,
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "cpus": os.cpu_count(),
+            "mutations": n,
+            "query_mix": QUERY_MIX,
+            "mutation_throughput": throughput,
+            "recovery": recovery,
+            "differential_mismatches": mismatches,
+            "crash_matrix": crashes,
+            "notes": (
+                "wal-off is a plain in-memory collection; wal-* pay "
+                "logging under the named fsync policy with 100-op group "
+                "commits.  The crash matrix injects sanitizer faults at "
+                "each WAL/checkpoint point and requires recovered TPC-H "
+                "answers to be byte-identical to the never-crashed "
+                "reference."
+            ),
+        }
+        write_json_atomic(args.out, payload)
+        print(f"wrote {args.out}")
+
+    if mismatches or rec_failures or crash_failures:
+        print(
+            f"gate violations: differential={mismatches} "
+            f"recovery={rec_failures} crash={crash_failures}",
+            file=sys.stderr,
+        )
+        return 1
+    print("all gates passed: recovery is byte-exact at every crash point")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

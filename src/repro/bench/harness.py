@@ -28,9 +28,11 @@ def bench_scale_factor(default: float = 0.01) -> float:
 def write_json_atomic(path, payload: Any) -> None:
     """Write *payload* as JSON to *path* atomically.
 
-    The file is written to a temp name in the same directory and renamed
-    into place (``os.replace``), so an interrupted run can never leave a
-    truncated or half-written ``BENCH_*.json`` behind.
+    The file is written to a temp name in the same directory, fsynced,
+    and renamed into place (``os.replace``), then the directory entry is
+    fsynced too — so a crash or power loss can never leave a truncated
+    or half-written ``BENCH_*.json`` behind, and the rename itself is
+    durable (same discipline as the durability module's manifests).
     """
     import json
     import tempfile
@@ -44,7 +46,14 @@ def write_json_atomic(path, payload: Any) -> None:
         with os.fdopen(fd, "w") as handle:
             json.dump(payload, handle, indent=2)
             handle.write("\n")
+            handle.flush()
+            os.fsync(handle.fileno())
         os.replace(tmp, path)
+        dir_fd = os.open(str(path.parent), os.O_RDONLY)
+        try:
+            os.fsync(dir_fd)
+        finally:
+            os.close(dir_fd)
     except BaseException:
         try:
             os.unlink(tmp)

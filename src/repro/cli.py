@@ -15,7 +15,17 @@ Commands
     Run one figure-reproduction bench module through pytest.
 ``serve``
     Serve a snapshot over the concurrent query service (threaded TCP,
-    length-prefixed JSON protocol; see ``docs/service.md``).
+    length-prefixed JSON protocol; see ``docs/service.md``).  With
+    ``--data-dir`` the server runs persistently: mutations are
+    write-ahead logged, and a restart recovers the directory.
+``recover``
+    Recover a data directory (checkpoint + log replay) and report what
+    was rebuilt, without serving.
+``log-dump``
+    Pretty-print a write-ahead log segment record by record.
+``snapshot`` / ``restore``
+    Export a data directory to a portable snapshot file, or initialize
+    a fresh data directory from one (see ``docs/durability.md``).
 
 Examples::
 
@@ -23,6 +33,8 @@ Examples::
     python -m repro info tpch.smcsnap
     python -m repro query tpch.smcsnap q1 --engine compiled
     python -m repro bench fig11
+    python -m repro serve tpch.smcsnap --data-dir state/
+    python -m repro recover state/
 """
 
 from __future__ import annotations
@@ -100,31 +112,97 @@ def _cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def _recover_data_dir(data_dir: str):
+    """Shared recovery entry for recover/snapshot/serve: returns
+    ``(collections, report)`` or ``None`` after printing the error."""
+    from repro.durability import RecoveryError, recover
+    from repro.durability.checkpoint import DataDir
+
+    if not DataDir(data_dir).is_initialized():
+        print(
+            f"{data_dir} is not an initialized data directory (no MANIFEST); "
+            f"create one with 'repro restore' or 'repro serve --data-dir'",
+            file=sys.stderr,
+        )
+        return None
+    try:
+        return recover(data_dir)
+    except RecoveryError as exc:
+        print(f"recovery failed: {exc}", file=sys.stderr)
+        return None
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import signal
 
-    from repro.io.snapshot import load_collections
     from repro.service.server import QueryService, ServiceServer
 
-    collections = load_collections(
-        args.snapshot, columnar=args.columnar, string_dict=not args.no_dict
-    )
-    manager = collections["_manager"]
+    store = None
+    if args.data_dir:
+        from repro.durability import DurableStore, RecoveryError
+        from repro.durability.checkpoint import DataDir
+
+        if DataDir(args.data_dir).is_initialized():
+            if args.snapshot:
+                print(
+                    f"{args.data_dir} is already initialized; it recovers "
+                    f"from its own checkpoint + log (drop the snapshot "
+                    f"argument)",
+                    file=sys.stderr,
+                )
+                return 2
+            try:
+                store = DurableStore.open(
+                    args.data_dir, fsync_policy=args.fsync
+                )
+            except RecoveryError as exc:
+                print(f"recovery failed: {exc}", file=sys.stderr)
+                return 1
+            print(store.report.summary())
+        else:
+            store = DurableStore.create(
+                args.data_dir,
+                snapshot=args.snapshot,
+                columnar=args.columnar,
+                string_dict=not args.no_dict,
+                fsync_policy=args.fsync,
+            )
+            print(f"initialized data directory {args.data_dir}")
+        collections = dict(store.collections)
+        collections["_manager"] = store.manager
+        manager = store.manager
+        source = args.data_dir
+    else:
+        if not args.snapshot:
+            print(
+                "serve needs a snapshot file, a --data-dir, or both",
+                file=sys.stderr,
+            )
+            return 2
+        from repro.io.snapshot import load_collections
+
+        collections = load_collections(
+            args.snapshot, columnar=args.columnar, string_dict=not args.no_dict
+        )
+        manager = collections["_manager"]
+        source = args.snapshot
     service = QueryService(
         collections,
         manager,
         lease_ttl=args.lease_ttl,
         max_concurrency=args.max_concurrency,
         queue_depth=args.queue_depth,
+        store=store,
     )
     if args.churn:
         service.start_churn()
     server = ServiceServer(service, host=args.host, port=args.port).start()
     print(
-        f"serving {args.snapshot} on {server.host}:{server.port} "
+        f"serving {source} on {server.host}:{server.port} "
         f"(max_concurrency={args.max_concurrency}, "
         f"queue_depth={args.queue_depth}, lease_ttl={args.lease_ttl}s"
         + (", churn on" if args.churn else "")
+        + (", durable" if store is not None else "")
         + ")"
     )
     stop = threading.Event()
@@ -139,8 +217,99 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             stop.wait(0.2)
     finally:
         server.stop()
-        manager.close()
+        if store is None:
+            # The durable store owns (and closed) the manager otherwise.
+            manager.close()
     print("server stopped")
+    return 0
+
+
+def _cmd_recover(args: argparse.Namespace) -> int:
+    recovered = _recover_data_dir(args.data_dir)
+    if recovered is None:
+        return 1
+    collections, report = recovered
+    print(report.summary())
+    manager = collections.pop("_manager")
+    for name, coll in sorted(collections.items()):
+        print(f"  {name:<12} {len(coll):>9} rows")
+    manager.close()
+    return 0
+
+
+def _cmd_log_dump(args: argparse.Namespace) -> int:
+    import json
+    import os
+
+    from repro.durability import RecoveryError, scan_wal
+    from repro.durability.checkpoint import DataDir
+
+    path = args.path
+    if os.path.isdir(path):
+        datadir = DataDir(path)
+        try:
+            manifest = datadir.read_manifest()
+        except RecoveryError as exc:
+            print(f"cannot read manifest: {exc}", file=sys.stderr)
+            return 1
+        if manifest is None:
+            print(
+                f"{path} is not an initialized data directory (no MANIFEST)",
+                file=sys.stderr,
+            )
+            return 1
+        path = os.path.join(path, manifest["wal"])
+    try:
+        scan = scan_wal(path)
+    except (RecoveryError, OSError) as exc:
+        print(f"cannot scan {path}: {exc}", file=sys.stderr)
+        return 1
+    print(f"{path}: segment starts at LSN {scan.start_lsn}")
+    for rec in scan.records:
+        tail = "" if rec.end_offset <= scan.committed_offset else "  [uncommitted]"
+        payload = json.dumps(rec.payload, sort_keys=True) if rec.payload else ""
+        print(f"  {rec.lsn:>8}  {rec.kind_name:<7} {payload}{tail}")
+    print(
+        f"{len(scan.records)} records ({scan.committed_count} committed), "
+        f"{scan.torn_bytes} torn tail bytes"
+    )
+    return 0
+
+
+def _cmd_snapshot(args: argparse.Namespace) -> int:
+    from repro.io.snapshot import save_collections
+
+    recovered = _recover_data_dir(args.data_dir)
+    if recovered is None:
+        return 1
+    collections, report = recovered
+    print(report.summary())
+    rows = save_collections(args.out, collections, fsync=True)
+    print(f"wrote {rows} rows to {args.out}")
+    collections["_manager"].close()
+    return 0
+
+
+def _cmd_restore(args: argparse.Namespace) -> int:
+    from repro.durability import DurableStore
+    from repro.errors import SmcError
+
+    try:
+        store = DurableStore.create(
+            args.data_dir,
+            snapshot=args.snapshot,
+            columnar=args.columnar,
+            string_dict=not args.no_dict,
+        )
+    except (SmcError, OSError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    rows = sum(len(c) for c in store.collections.values())
+    print(
+        f"restored {args.snapshot} into {args.data_dir} "
+        f"({len(store.collections)} collections, {rows} rows)"
+    )
+    store.close()
     return 0
 
 
@@ -238,7 +407,25 @@ def build_parser() -> argparse.ArgumentParser:
     serve = sub.add_parser(
         "serve", help="serve a snapshot over the query service protocol"
     )
-    serve.add_argument("snapshot")
+    serve.add_argument(
+        "snapshot",
+        nargs="?",
+        help="snapshot file to serve (optional with an initialized "
+        "--data-dir, which recovers itself)",
+    )
+    serve.add_argument(
+        "--data-dir",
+        help="persist mutations here: write-ahead log + checkpoints; an "
+        "uninitialized directory is seeded from the snapshot argument "
+        "(or starts empty), an initialized one is recovered",
+    )
+    serve.add_argument(
+        "--fsync",
+        choices=["always", "commit", "none"],
+        default="commit",
+        help="WAL fsync policy in persistent mode (default: commit — "
+        "one fsync per group commit)",
+    )
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=7070)
     serve.add_argument("--columnar", action="store_true")
@@ -298,6 +485,41 @@ def build_parser() -> argparse.ArgumentParser:
     bench = sub.add_parser("bench", help="run a figure bench (e.g. fig11)")
     bench.add_argument("figure", help="fig06..fig13 or ablation")
     bench.set_defaults(fn=_cmd_bench)
+
+    recover_p = sub.add_parser(
+        "recover",
+        help="recover a data directory (checkpoint + WAL replay) and "
+        "report the rebuilt state",
+    )
+    recover_p.add_argument("data_dir")
+    recover_p.set_defaults(fn=_cmd_recover)
+
+    log_dump = sub.add_parser(
+        "log-dump",
+        help="print a write-ahead log segment record by record",
+    )
+    log_dump.add_argument(
+        "path", help="a WAL segment file, or a data directory (dumps its "
+        "active segment)"
+    )
+    log_dump.set_defaults(fn=_cmd_log_dump)
+
+    snapshot_p = sub.add_parser(
+        "snapshot", help="export a data directory to a snapshot file"
+    )
+    snapshot_p.add_argument("data_dir")
+    snapshot_p.add_argument("out", help="snapshot file to write")
+    snapshot_p.set_defaults(fn=_cmd_snapshot)
+
+    restore_p = sub.add_parser(
+        "restore",
+        help="initialize a fresh data directory from a snapshot file",
+    )
+    restore_p.add_argument("data_dir")
+    restore_p.add_argument("snapshot")
+    restore_p.add_argument("--columnar", action="store_true")
+    restore_p.add_argument("--no-dict", action="store_true")
+    restore_p.set_defaults(fn=_cmd_restore)
 
     return parser
 

@@ -120,6 +120,11 @@ class Collection:
         #: Secondary hash indexes (see :meth:`create_index`).
         self._indexes: List["HashIndex"] = []
         self._indexed_fields: Dict[str, List["HashIndex"]] = {}
+        #: Durability hook (a :class:`~repro.durability.store.DurableStore`
+        #: or None).  When set, every mutation holds ``mutation_log.hold()``
+        #: across *apply + append*, so checkpoints cut between whole
+        #: mutations, never through one.
+        self.mutation_log = None
 
     # ------------------------------------------------------------------
     # Reference encoding (indirect vs direct pointer mode, section 6)
@@ -178,6 +183,15 @@ class Collection:
         struct pack; a sparse one blits the default template and patches
         only the supplied fields.
         """
+        mlog = self.mutation_log
+        if mlog is None:
+            return self._add_impl(values)
+        with mlog.hold():
+            handle = self._add_impl(values)
+            mlog.log_add(self, handle.ref.entry, values)
+            return handle
+
+    def _add_impl(self, values: Dict[str, Any]) -> Handle:
         layout = self.layout
         by_name = layout.by_name
         for key in values:
@@ -212,6 +226,15 @@ class Collection:
         object are reclaimed with it (section 2).
         """
         ref = obj.ref if isinstance(obj, Handle) else obj
+        mlog = self.mutation_log
+        if mlog is None:
+            self._remove_impl(ref)
+            return
+        with mlog.hold():
+            self._remove_impl(ref)
+            mlog.log_remove(self, ref.entry)
+
+    def _remove_impl(self, ref: Ref) -> None:
         epochs = self.manager.epochs
         epochs.enter_critical_section()
         try:
@@ -249,6 +272,10 @@ class Collection:
         for index in self._indexed_fields.get(field_name, ()):
             index._update(entry, value)
 
+    def index_specs(self) -> List[Tuple[str, str]]:
+        """``(field_name, kind)`` per index — persisted by snapshots."""
+        return [(index.field_name, index.kind) for index in self._indexes]
+
     def _maybe_auto_compact(self, batch: int = 1) -> None:
         """Compact when overall occupancy drops below the policy threshold.
 
@@ -283,14 +310,23 @@ class Collection:
         """
         refs = self.query().where(pred).run().rows
         removed = 0
+        mlog = self.mutation_log
         for ref in refs:
-            self.manager.free_object_with_strings(self, ref)
-            for index in self._indexes:
-                index._delete(ref.entry)
+            if mlog is None:
+                self._free_matched(ref)
+            else:
+                with mlog.hold():
+                    self._free_matched(ref)
+                    mlog.log_remove(self, ref.entry)
             removed += 1
         if self.auto_compact_occupancy is not None:
             self._maybe_auto_compact(batch=removed)
         return removed
+
+    def _free_matched(self, ref: Ref) -> None:
+        self.manager.free_object_with_strings(self, ref)
+        for index in self._indexes:
+            index._delete(ref.entry)
 
     def update_where(self, pred, **values: Any) -> int:
         """Set *values* on every object matching *pred*; returns the count."""

@@ -299,6 +299,15 @@ class ColumnarHandle:
         field = collection.layout.by_name.get(name)
         if field is None:
             raise AttributeError(name)
+        mlog = collection.mutation_log
+        if mlog is None:
+            self._set_field(collection, field, name, value)
+            return
+        with mlog.hold():
+            self._set_field(collection, field, name, value)
+            mlog.log_update(collection, self._ref.entry, name, value)
+
+    def _set_field(self, collection, field, name: str, value: Any) -> None:
         epochs = collection.manager.epochs
         epochs.enter_critical_section()
         try:
@@ -347,6 +356,15 @@ class ColumnarCollection(Collection):
     # -- row construction --------------------------------------------------
 
     def add(self, **values: Any):
+        mlog = self.mutation_log
+        if mlog is None:
+            return self._add_impl(values)
+        with mlog.hold():
+            handle = self._add_impl(values)
+            mlog.log_add(self, handle.ref.entry, values)
+            return handle
+
+    def _add_impl(self, values: Dict[str, Any]):
         converted: Dict[str, Any] = {}
         for key, value in values.items():
             field = self.layout.by_name.get(key)
@@ -404,6 +422,15 @@ class ColumnarCollection(Collection):
 
     def remove(self, obj: Union[ColumnarHandle, Ref]) -> None:
         ref = obj.ref if isinstance(obj, ColumnarHandle) else obj
+        mlog = self.mutation_log
+        if mlog is None:
+            self._remove_impl(ref)
+            return
+        with mlog.hold():
+            self._remove_impl(ref)
+            mlog.log_remove(self, ref.entry)
+
+    def _remove_impl(self, ref: Ref) -> None:
         epochs = self.manager.epochs
         epochs.enter_critical_section()
         try:

@@ -98,6 +98,15 @@ class Handle:
             raise AttributeError(
                 f"{collection.schema.__name__} has no field {name!r}"
             )
+        mlog = collection.mutation_log
+        if mlog is None:
+            self._write_field(collection, field, name, value)
+            return
+        with mlog.hold():
+            self._write_field(collection, field, name, value)
+            mlog.log_update(collection, self._ref.entry, name, value)
+
+    def _write_field(self, collection, field, name: str, value: Any) -> None:
         manager = collection.manager
         epochs = manager.epochs
         epochs.enter_critical_section()

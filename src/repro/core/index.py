@@ -35,6 +35,9 @@ class IndexError_(SmcError):
 class HashIndex:
     """Value → indirection-entry index on one field of a collection."""
 
+    #: Snapshot tag (the index section persists ``(field, kind)`` pairs).
+    kind = "hash"
+
     def __init__(self, collection: "Collection", field_name: str) -> None:
         field = collection.layout.by_name.get(field_name)
         if field is None:
@@ -141,6 +144,9 @@ class SortedIndex:
     bulk-load-then-query workloads SMCs target; a B-tree would replace
     this for write-heavy uses).
     """
+
+    #: Snapshot tag (the index section persists ``(field, kind)`` pairs).
+    kind = "sorted"
 
     def __init__(self, collection: "Collection", field_name: str) -> None:
         field = collection.layout.by_name.get(field_name)

@@ -1,0 +1,258 @@
+"""Crash recovery: checkpoint reload + log-tail replay.
+
+``recover(data_dir)`` rebuilds the collections a durable store held at
+the moment of the crash:
+
+1. read the MANIFEST (the atomically-replaced commit point);
+2. load the checkpoint snapshot into a fresh manager;
+3. zip each collection's reloaded rows with the entry-id lists the
+   manifest recorded — snapshot load order equals subsequent enumeration
+   order, so position *i* of both is the same row — giving the
+   ``old entry id -> new handle`` translation map;
+4. replay the committed prefix of the active log segment through the
+   normal ``add``/``remove``/``setattr`` paths (so secondary indexes and
+   string dictionaries are maintained as they were live), updating the
+   map as rows are added and removed.
+
+A torn final record (or a trailing batch whose COMMIT never reached
+disk) is dropped: the crash interrupted an append that was never
+acknowledged.  Interior corruption — a CRC mismatch or LSN gap with
+valid records behind it — raises :class:`RecoveryError` naming the LSN,
+because skipping it would silently lose acknowledged mutations.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from repro.durability.checkpoint import DataDir
+from repro.durability.wal import (
+    ADD,
+    BEGIN,
+    COMMIT,
+    INTERN,
+    REMOVE,
+    UPDATE,
+    RecoveryError,
+    WalRecord,
+    scan_wal,
+)
+
+
+@dataclass
+class RecoveryReport:
+    """What recovery did (surfaced by ``repro recover`` and metrics)."""
+
+    data_dir: str
+    checkpoint: str
+    cut_lsn: int
+    checkpoint_rows: int
+    wal_path: str
+    records_scanned: int
+    replayed: int
+    interned: int
+    dropped_tail_bytes: int
+    dropped_open_batch: int
+    committed_offset: int
+    next_lsn: int
+    duration: float
+
+    def summary(self) -> str:
+        return (
+            f"recovered {self.data_dir}: checkpoint {self.checkpoint} "
+            f"({self.checkpoint_rows} rows, cut LSN {self.cut_lsn}), "
+            f"replayed {self.replayed} of {self.records_scanned} log "
+            f"records ({self.interned} interned strings, "
+            f"{self.dropped_open_batch} dropped from an open batch, "
+            f"{self.dropped_tail_bytes} torn tail bytes) "
+            f"in {self.duration * 1000:.1f} ms"
+        )
+
+
+def recover(
+    data_dir: str,
+    *,
+    manager=None,
+    columnar: Optional[bool] = None,
+    string_dict: Optional[bool] = None,
+):
+    """Rebuild the collections stored in *data_dir*.
+
+    Returns ``(collections, report)`` where ``collections`` includes the
+    ``"_manager"`` key, exactly like ``load_collections``.  Layout and
+    encoding default to what the manifest recorded.
+    """
+    from repro.io.snapshot import load_collections
+
+    start = time.perf_counter()
+    dd = DataDir(data_dir)
+    manifest = dd.read_manifest()
+    if manifest is None:
+        raise RecoveryError(
+            f"{data_dir} is not an initialized data directory (no MANIFEST)"
+        )
+    if columnar is None:
+        columnar = bool(manifest.get("columnar", False))
+    if string_dict is None:
+        string_dict = bool(manifest.get("string_dict", True))
+
+    checkpoint_path = os.path.join(dd.root, manifest["checkpoint"])
+    try:
+        collections = load_collections(
+            checkpoint_path,
+            manager=manager,
+            columnar=columnar,
+            string_dict=string_dict,
+        )
+    except OSError as exc:
+        raise RecoveryError(
+            f"cannot read checkpoint {checkpoint_path}: {exc}"
+        ) from None
+    mgr = collections["_manager"]
+
+    # Entry-id translation: manifest order is snapshot write order is
+    # reload order is enumeration order.
+    entry_map: Dict[int, Any] = {}
+    for name, old_entries in manifest["entries"].items():
+        coll = collections.get(name)
+        if coll is None:
+            raise RecoveryError(
+                f"manifest lists collection {name!r} but the checkpoint "
+                f"does not contain it"
+            )
+        handles = list(coll)
+        if len(handles) != len(old_entries):
+            raise RecoveryError(
+                f"collection {name!r}: checkpoint reloaded "
+                f"{len(handles)} rows but the manifest recorded "
+                f"{len(old_entries)} entry ids"
+            )
+        for old_entry, handle in zip(old_entries, handles):
+            entry_map[old_entry] = handle
+
+    wal_path = os.path.join(dd.root, manifest["wal"])
+    try:
+        scan = scan_wal(wal_path)
+    except FileNotFoundError:
+        raise RecoveryError(
+            f"manifest points at missing log segment {wal_path}"
+        ) from None
+    if scan.start_lsn != manifest["cut_lsn"] + 1:
+        raise RecoveryError(
+            f"{wal_path} starts at LSN {scan.start_lsn} but the "
+            f"checkpoint was cut at LSN {manifest['cut_lsn']}"
+        )
+
+    replayed = interned = 0
+    strings: Dict[int, str] = {}
+    for rec in scan.committed_records():
+        if rec.kind in (BEGIN, COMMIT):
+            continue  # batch atomicity is enforced by the committed cut
+        if rec.kind == INTERN:
+            strings[int(rec.payload["i"])] = rec.payload["t"]
+            interned += 1
+            continue
+        _apply(collections, mgr, entry_map, strings, rec)
+        replayed += 1
+
+    report = RecoveryReport(
+        data_dir=dd.root,
+        checkpoint=manifest["checkpoint"],
+        cut_lsn=int(manifest["cut_lsn"]),
+        checkpoint_rows=int(manifest.get("rows", 0)),
+        wal_path=wal_path,
+        records_scanned=len(scan.records),
+        replayed=replayed,
+        interned=interned,
+        dropped_tail_bytes=scan.torn_bytes,
+        dropped_open_batch=scan.open_batch_records,
+        committed_offset=scan.committed_offset,
+        next_lsn=scan.next_lsn,
+        duration=time.perf_counter() - start,
+    )
+    return collections, report
+
+
+def _apply(collections, mgr, entry_map, strings, rec: WalRecord) -> None:
+    """Re-execute one mutation record against the reloaded collections."""
+    payload = rec.payload
+    name = payload["c"]
+    coll = collections.get(name)
+    if rec.kind == ADD:
+        if coll is None:
+            coll = _create_collection(collections, mgr, name, payload["s"])
+        values = {
+            key: _decode_value(entry_map, strings, rec, value)
+            for key, value in payload["v"].items()
+        }
+        entry_map[int(payload["e"])] = coll.add(**values)
+        return
+    if coll is None:
+        raise RecoveryError(
+            f"LSN {rec.lsn}: {rec.kind_name} targets unknown "
+            f"collection {name!r}"
+        )
+    handle = entry_map.get(int(payload["e"]))
+    if handle is None:
+        raise RecoveryError(
+            f"LSN {rec.lsn}: {rec.kind_name} targets entry "
+            f"{payload['e']} which is not live at this point of the log"
+        )
+    if rec.kind == REMOVE:
+        coll.remove(handle)
+        del entry_map[int(payload["e"])]
+        return
+    if rec.kind == UPDATE:
+        setattr(
+            handle,
+            payload["f"],
+            _decode_value(entry_map, strings, rec, payload["v"]),
+        )
+        return
+    raise RecoveryError(
+        f"LSN {rec.lsn}: unknown record kind {rec.kind}"
+    )
+
+
+def _create_collection(collections, mgr, name: str, schema_name: str):
+    """A collection first seen in the log tail (created post-checkpoint)."""
+    from repro.core.collection import Collection
+    from repro.core.columnar import ColumnarCollection
+    from repro.schema.tabular import resolve_tabular
+
+    factory = Collection
+    for existing_name, existing in collections.items():
+        if not existing_name.startswith("_"):
+            if isinstance(existing, ColumnarCollection):
+                factory = ColumnarCollection
+            break
+    coll = factory(resolve_tabular(schema_name), manager=mgr, name=name)
+    collections[name] = coll
+    return coll
+
+
+def _decode_value(entry_map, strings, rec: WalRecord, value):
+    """Decode one logged field value back into add/setattr input."""
+    from repro.service.protocol import decode_value
+
+    if isinstance(value, dict):
+        if "$r" in value:
+            target = entry_map.get(int(value["$r"]))
+            if target is None:
+                raise RecoveryError(
+                    f"LSN {rec.lsn}: reference to entry {value['$r']} "
+                    f"which is not live at this point of the log"
+                )
+            return target
+        if "$s" in value:
+            sid = int(value["$s"])
+            if sid not in strings:
+                raise RecoveryError(
+                    f"LSN {rec.lsn}: string id {sid} was never interned "
+                    f"in this log segment"
+                )
+            return strings[sid]
+    return decode_value(value)

@@ -1,0 +1,436 @@
+"""DurableStore: the façade tying collections, WAL and checkpoints together.
+
+A store owns a data directory, the manager + collections living in it,
+the active :class:`~repro.durability.wal.WriteAheadLog` segment and a
+:class:`~repro.durability.checkpoint.CheckpointManager`.  It installs
+itself as every durable collection's ``mutation_log``, so the normal
+``add`` / ``remove`` / handle-``setattr`` paths log transparently::
+
+    store = DurableStore.create("state/", snapshot="tpch.smcsnap")
+    orders = store.collections["orders"]
+    orders.add(orderkey=1, ...)        # applied + logged + fsynced
+    store.checkpoint()                 # snapshot, truncate the log
+    store.close()
+
+    store = DurableStore.open("state/")   # recover after a crash
+
+Mutation/logging atomicity: durable collections hold the WAL lock
+across *apply + append* (see ``Collection.add``), and the checkpointer
+holds the same lock for the whole checkpoint, so the snapshot cut is
+exact — no mutation can be half in the checkpoint and half in the next
+log segment.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.durability.checkpoint import CheckpointManager, DataDir, DataDirError
+from repro.durability.recovery import RecoveryReport, recover
+from repro.durability.wal import ADD, INTERN, REMOVE, UPDATE, WriteAheadLog
+from repro.errors import SmcError
+from repro.memory.reference import Ref
+from repro.schema.fields import CharField, RefField, VarStringField
+
+#: Default log size that triggers ``maybe_checkpoint`` (bytes).
+DEFAULT_CHECKPOINT_BYTES = 16 * 1024 * 1024
+
+
+class MutationError(SmcError):
+    """A malformed or inapplicable mutation op (service: BAD_REQUEST)."""
+
+
+class DurableStore:
+    """A set of collections persisted to a data directory."""
+
+    def __init__(
+        self,
+        datadir: DataDir,
+        collections: Dict[str, Any],
+        wal: WriteAheadLog,
+        *,
+        checkpoint_bytes: int = DEFAULT_CHECKPOINT_BYTES,
+        owns_manager: bool = False,
+        report: Optional[RecoveryReport] = None,
+    ) -> None:
+        self.datadir = datadir
+        self.collections = {
+            k: v for k, v in collections.items() if not k.startswith("_")
+        }
+        self.manager = collections["_manager"]
+        self._wal = wal
+        self.checkpoint_bytes = checkpoint_bytes
+        self.report = report
+        self._owns_manager = owns_manager
+        self._closed = False
+        self._ckpt = CheckpointManager(
+            self.datadir, self.manager, dict(collections)
+        )
+        # Log-local string-id table, reset at every checkpoint (string
+        # dictionary *codes* are not stable across a reload, log-local
+        # sids are — see the wal module docstring).
+        self._sids: Dict[str, int] = {}
+        # Counters carried across segment rollovers.
+        self._closed_records = 0
+        self._closed_bytes = 0
+        self._closed_fsyncs = 0
+        self._closed_batches = 0
+        self._attach()
+
+    # -- construction ---------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        data_dir: str,
+        collections: Optional[Dict[str, Any]] = None,
+        *,
+        snapshot: Optional[str] = None,
+        columnar: bool = False,
+        string_dict: bool = True,
+        fsync_policy: str = "commit",
+        checkpoint_bytes: int = DEFAULT_CHECKPOINT_BYTES,
+    ) -> "DurableStore":
+        """Initialize a fresh data directory.
+
+        Seed it from a snapshot file, an existing ``{name: collection}``
+        dict (which must include ``"_manager"``), or nothing (an empty
+        store; collections then appear via :meth:`apply` ADD records or
+        by registering them up front).
+        """
+        from repro.io.snapshot import load_collections
+        from repro.memory.manager import MemoryManager
+
+        if collections is not None and snapshot is not None:
+            raise DataDirError("pass either collections or snapshot, not both")
+        owns = collections is None
+        if snapshot is not None:
+            collections = load_collections(
+                snapshot, columnar=columnar, string_dict=string_dict
+            )
+        elif collections is None:
+            collections = {"_manager": MemoryManager(string_dict=string_dict)}
+        if "_manager" not in collections:
+            raise DataDirError("collections must include '_manager'")
+        datadir = DataDir(data_dir)
+        ckpt = CheckpointManager(
+            datadir, collections["_manager"], dict(collections)
+        )
+        __, wal = ckpt.bootstrap(fsync_policy=fsync_policy)
+        return cls(
+            datadir,
+            collections,
+            wal,
+            checkpoint_bytes=checkpoint_bytes,
+            owns_manager=owns,
+        )
+
+    @classmethod
+    def open(
+        cls,
+        data_dir: str,
+        *,
+        fsync_policy: str = "commit",
+        checkpoint_bytes: int = DEFAULT_CHECKPOINT_BYTES,
+        columnar: Optional[bool] = None,
+        string_dict: Optional[bool] = None,
+    ) -> "DurableStore":
+        """Recover *data_dir* and resume appending after the replayed tail."""
+        collections, report = recover(
+            data_dir, columnar=columnar, string_dict=string_dict
+        )
+        # Reopening truncates the torn tail / uncommitted trailing batch
+        # recovery skipped, so appends resume at the committed boundary.
+        wal = WriteAheadLog.open(report.wal_path, fsync_policy=fsync_policy)
+        return cls(
+            DataDir(data_dir),
+            collections,
+            wal,
+            checkpoint_bytes=checkpoint_bytes,
+            owns_manager=True,
+            report=report,
+        )
+
+    def _attach(self) -> None:
+        # Log records carry the *store key* of a collection (what the
+        # checkpoint and manifest are keyed by), which may differ from
+        # collection.name when the caller's dict uses its own names.
+        self._names: Dict[int, str] = {
+            id(coll): name for name, coll in self.collections.items()
+        }
+        for coll in self.collections.values():
+            coll.mutation_log = self
+            strdict = getattr(coll, "strdict", None)
+            if strdict is not None:
+                strdict.on_bind = self._on_strdict_bind
+
+    def _name_of(self, collection) -> str:
+        return self._names.get(id(collection), collection.name)
+
+    # -- the mutation-hook interface (called by Collection/Handle) ------
+
+    def hold(self):
+        """The lock durable mutations hold across apply + append."""
+        return self._wal.hold()
+
+    @property
+    def wal(self) -> WriteAheadLog:
+        return self._wal
+
+    def log_add(self, collection, entry: int, values: Dict[str, Any]) -> int:
+        payload_values = {
+            key: self._encode_value(
+                collection, collection.layout.by_name[key], value
+            )
+            for key, value in values.items()
+        }
+        return self._wal.append(
+            ADD,
+            {
+                "c": self._name_of(collection),
+                "s": collection.schema.__name__,
+                "e": entry,
+                "v": payload_values,
+            },
+        )
+
+    def log_remove(self, collection, entry: int) -> int:
+        return self._wal.append(
+            REMOVE, {"c": self._name_of(collection), "e": entry}
+        )
+
+    def log_update(
+        self, collection, entry: int, field_name: str, value: Any
+    ) -> int:
+        field = collection.layout.by_name[field_name]
+        return self._wal.append(
+            UPDATE,
+            {
+                "c": self._name_of(collection),
+                "e": entry,
+                "f": field_name,
+                "v": self._encode_value(collection, field, value),
+            },
+        )
+
+    def batch(self):
+        """Group-commit scope: one BEGIN/COMMIT pair, one fsync."""
+        return self._wal.batch()
+
+    def _encode_value(self, collection, field, value):
+        """One field value as its log representation.
+
+        References become ``{"$r": entry}``, non-empty varstrings become
+        ``{"$s": sid}`` against the segment's INTERN table, scalars are
+        normalized through the field codec so replay writes bit-identical
+        raw values (e.g. Decimals pick up their declared scale).
+        """
+        if isinstance(field, RefField):
+            if value is None:
+                return None
+            ref = value if isinstance(value, Ref) else getattr(value, "ref", None)
+            if not isinstance(ref, Ref):
+                raise MutationError(
+                    f"field {field.name} expects a handle, Ref or None"
+                )
+            return {"$r": ref.entry}
+        if isinstance(field, VarStringField):
+            text = "" if value is None else str(value)
+            if not text:
+                return ""
+            return {"$s": self._sid_for(text)}
+        if isinstance(field, CharField):
+            return str(value)
+        from repro.service.protocol import encode_value
+
+        return encode_value(field.from_raw(field.to_raw(value)))
+
+    def _sid_for(self, text: str) -> int:
+        with self._wal.hold():
+            sid = self._sids.get(text)
+            if sid is None:
+                sid = len(self._sids) + 1
+                self._wal.append(INTERN, {"i": sid, "t": text})
+                self._sids[text] = sid
+            return sid
+
+    def _on_strdict_bind(self, code: int, text: str) -> None:
+        """String-heap hook: a dictionary bound a new string.
+
+        Pre-registers the text in the segment's INTERN table so the ADD
+        or UPDATE record about to reference it reuses the sid.  (The
+        dictionary *code* is deliberately ignored — it is not stable
+        across recovery.)
+        """
+        del code
+        self._sid_for(text)
+
+    # -- service-facing mutation batches --------------------------------
+
+    def apply(self, ops: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+        """Apply a batch of mutation ops with group commit.
+
+        Each op is ``{"op": "add"|"remove"|"update", "collection": name,
+        ...}``; ``add`` takes ``values`` (references encoded as
+        ``{"$r": entry}``), ``remove`` takes ``entry``, ``update`` takes
+        ``entry`` and ``values``.  Returns one result dict per op.  The
+        whole batch is one BEGIN/COMMIT unit: a crash mid-batch recovers
+        to the state before it.
+        """
+        if not isinstance(ops, list) or not ops:
+            raise MutationError("ops must be a non-empty list")
+        results = []
+        with self.batch():
+            for op in ops:
+                results.append(self._apply_op(op))
+        return results
+
+    def _apply_op(self, op: Dict[str, Any]) -> Dict[str, Any]:
+        if not isinstance(op, dict):
+            raise MutationError("each op must be an object")
+        kind = op.get("op")
+        coll = self.collections.get(str(op.get("collection")))
+        if coll is None:
+            raise MutationError(
+                f"unknown collection {op.get('collection')!r}; "
+                f"known: {sorted(self.collections)}"
+            )
+        if kind == "add":
+            decoded = self._decode_op_values(coll, op.get("values") or {})
+            handle = coll.add(**decoded)
+            return {"entry": handle.ref.entry}
+        if kind == "remove":
+            handle = self._live_handle(coll, op.get("entry"))
+            coll.remove(handle)
+            return {"removed": True}
+        if kind == "update":
+            handle = self._live_handle(coll, op.get("entry"))
+            decoded = self._decode_op_values(coll, op.get("values") or {})
+            for key, value in decoded.items():
+                setattr(handle, key, value)
+            return {"updated": len(decoded)}
+        raise MutationError(f"unknown mutation op {kind!r}")
+
+    def _decode_op_values(
+        self, coll, values: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        from repro.service.protocol import decode_value
+
+        decoded = {}
+        for key, value in values.items():
+            field = coll.layout.by_name.get(key)
+            if field is None:
+                raise MutationError(
+                    f"{coll.schema.__name__} has no field {key!r}"
+                )
+            if isinstance(value, dict) and "$r" in value:
+                if not isinstance(field, RefField):
+                    raise MutationError(
+                        f"field {key!r} is not a reference field"
+                    )
+                target = coll.target_collection(field)
+                decoded[key] = self._live_handle(target, int(value["$r"]))
+            else:
+                decoded[key] = decode_value(value)
+        return decoded
+
+    def _live_handle(self, coll, entry) -> Any:
+        """Entry id -> checked live handle of *coll* (client addressing)."""
+        try:
+            entry = int(entry)
+        except (TypeError, ValueError):
+            raise MutationError(f"invalid entry id {entry!r}") from None
+        if entry < 0:
+            raise MutationError(f"invalid entry id {entry}")
+        manager = self.manager
+        try:
+            ref = Ref(manager, entry, manager.table.incarnation(entry))
+            if not ref.is_alive:
+                raise MutationError(f"entry {entry} is not a live object")
+            address = ref.address()
+            block = manager.space.block_at(address)
+        except MutationError:
+            raise
+        except Exception as exc:  # noqa: BLE001 - any bad id maps the same
+            raise MutationError(
+                f"entry {entry} is not a live object ({type(exc).__name__})"
+            ) from None
+        if block.context_id != coll.context.context_id:
+            raise MutationError(
+                f"entry {entry} does not belong to collection {coll.name!r}"
+            )
+        return coll._handle(ref)
+
+    # -- checkpoints ----------------------------------------------------
+
+    def checkpoint(self) -> Dict[str, Any]:
+        """Write a checkpoint, roll the log, sweep superseded files."""
+        with self._wal.hold():
+            old = self._wal
+            manifest, new_wal = self._ckpt.checkpoint(old)
+            self._closed_records += old.records
+            self._closed_bytes += old.bytes_written
+            self._closed_fsyncs += old.fsyncs
+            self._closed_batches += old.batches
+            self._wal = new_wal
+            self._sids.clear()
+        return manifest
+
+    def maybe_checkpoint(self) -> bool:
+        """Checkpoint when the active segment outgrew the threshold."""
+        if self._wal.payload_bytes < self.checkpoint_bytes:
+            return False
+        self.checkpoint()
+        return True
+
+    # -- stats / lifecycle ----------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        wal = self._wal
+        return {
+            "data_dir": self.datadir.root,
+            "wal_size_bytes": wal.size,
+            "wal_last_lsn": wal.last_lsn,
+            "wal_records_total": self._closed_records + wal.records,
+            "wal_bytes_total": self._closed_bytes + wal.bytes_written,
+            "wal_fsyncs_total": self._closed_fsyncs + wal.fsyncs,
+            "wal_batches_total": self._closed_batches + wal.batches,
+            "fsync_policy": wal.fsync_policy,
+            "checkpoints_total": self._ckpt.count,
+            "checkpoint_last_duration": self._ckpt.last_duration,
+            "checkpoint_last_rows": self._ckpt.last_rows,
+            "recovery_replayed_total": (
+                self.report.replayed if self.report else 0
+            ),
+            "recovery_dropped_tail_bytes": (
+                self.report.dropped_tail_bytes if self.report else 0
+            ),
+        }
+
+    def close(self, checkpoint: bool = False) -> None:
+        """Detach hooks, sync and close the log (optionally checkpoint).
+
+        Idempotent: the serving layer may close the store both from the
+        shutdown op's teardown thread and from its own cleanup path.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if checkpoint:
+            self.checkpoint()
+        for coll in self.collections.values():
+            if getattr(coll, "mutation_log", None) is self:
+                coll.mutation_log = None
+            strdict = getattr(coll, "strdict", None)
+            if strdict is not None and strdict.on_bind == self._on_strdict_bind:
+                strdict.on_bind = None
+        self._wal.close()
+        if self._owns_manager:
+            self.manager.close()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<DurableStore {self.datadir.root}: "
+            f"{len(self.collections)} collections, "
+            f"wal at LSN {self._wal.last_lsn}>"
+        )

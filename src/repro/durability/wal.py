@@ -1,0 +1,505 @@
+"""Write-ahead log: LSN-stamped, CRC32-framed mutation records.
+
+The log is the durability subsystem's source of truth between
+checkpoints.  Every mutation of a durable collection appends one record
+*before the mutating call returns*; the record carries the collection
+name, the object's indirection-table entry (stable for the row's
+lifetime, see ``docs/memory_protocol.md``) and the field values, so
+:func:`repro.durability.recovery.recover` can re-apply it against a
+reloaded checkpoint.
+
+File format (little-endian)::
+
+    header   b"SMCWAL1\\n" | u64 start_lsn
+    record   u32 crc32 | u32 payload_len | u64 lsn | u8 kind | payload
+
+The CRC covers ``lsn | kind | payload``.  Payloads are compact JSON
+(the service protocol's tagged encoding, so ``Decimal`` and ``date``
+values round-trip exactly).  Record kinds:
+
+======  =======  ====================================================
+value   name     payload
+======  =======  ====================================================
+1       BEGIN    ``{"n": batch_seq}`` — opens a group-commit batch
+2       COMMIT   ``{"n": batch_seq}`` — closes it; torn batches are
+                 dropped whole at recovery (all-or-nothing)
+3       ADD      ``{"c", "s", "e", "v"}`` — collection, schema, entry,
+                 field values
+4       REMOVE   ``{"c", "e"}``
+5       UPDATE   ``{"c", "e", "f", "v"}``
+6       INTERN   ``{"i": sid, "t": text}`` — binds a log-local string
+                 id; later values reference it as ``{"$s": sid}``
+======  =======  ====================================================
+
+String values are *not* logged as string-dictionary codes: dictionary
+codes are reassigned densely when a checkpoint reloads, so a code
+written before a checkpoint would dangle after it.  INTERN records bind
+log-local string ids instead, scoped to one log segment (the table
+resets at every checkpoint), which still deduplicates repeated values.
+
+Torn-tail contract (see ``docs/durability.md`` for the crash matrix):
+
+* a final record whose frame runs past EOF, or whose CRC fails *and*
+  whose frame ends exactly at EOF, is a torn tail — dropped silently
+  (the crash happened mid-append, the mutation was never acknowledged);
+* a CRC mismatch or LSN discontinuity with further bytes behind it is
+  interior corruption — :class:`WalCorruptionError` naming the LSN;
+* a trailing BEGIN without its COMMIT is an unacknowledged batch —
+  its records are dropped whole and the file is truncated back to the
+  last committed boundary before appends resume.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+import struct
+import threading
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.errors import SmcError
+from repro.sanitizer import hooks as _san
+
+FILE_MAGIC = b"SMCWAL1\n"
+_FILE_HEADER = struct.Struct("<Q")  # start_lsn
+FILE_HEADER_SIZE = len(FILE_MAGIC) + _FILE_HEADER.size  # 16
+
+_RECORD_HEADER = struct.Struct("<IIQB")  # crc32, payload_len, lsn, kind
+RECORD_HEADER_SIZE = _RECORD_HEADER.size  # 17
+_CRC_BODY = struct.Struct("<QB")  # lsn, kind (the CRC'd prefix)
+
+#: Sanity bound on one record's payload (matches the wire protocol's cap).
+MAX_RECORD = 64 * 1024 * 1024
+
+BEGIN = 1
+COMMIT = 2
+ADD = 3
+REMOVE = 4
+UPDATE = 5
+INTERN = 6
+
+KIND_NAMES = {
+    BEGIN: "BEGIN",
+    COMMIT: "COMMIT",
+    ADD: "ADD",
+    REMOVE: "REMOVE",
+    UPDATE: "UPDATE",
+    INTERN: "INTERN",
+}
+
+#: fsync policies: every record / every commit boundary / never.
+FSYNC_POLICIES = ("always", "commit", "none")
+
+
+class RecoveryError(SmcError):
+    """Raised when a data directory cannot be recovered."""
+
+
+class WalCorruptionError(RecoveryError):
+    """Interior log corruption (CRC/LSN) that recovery must not skip."""
+
+    def __init__(self, message: str, lsn: int, offset: int) -> None:
+        super().__init__(message)
+        self.lsn = lsn
+        self.offset = offset
+
+
+@dataclass
+class WalRecord:
+    """One decoded log record."""
+
+    lsn: int
+    kind: int
+    payload: Dict[str, Any]
+    offset: int
+    end_offset: int
+
+    @property
+    def kind_name(self) -> str:
+        return KIND_NAMES.get(self.kind, f"KIND{self.kind}")
+
+
+@dataclass
+class WalScan:
+    """Result of scanning one log segment."""
+
+    path: str
+    start_lsn: int
+    records: List[WalRecord] = field(default_factory=list)
+    #: End offset of the last structurally valid record.
+    good_offset: int = FILE_HEADER_SIZE
+    #: End offset of the durable prefix — excludes a trailing open batch.
+    committed_offset: int = FILE_HEADER_SIZE
+    #: Number of leading records inside the committed prefix.
+    committed_count: int = 0
+    #: Torn bytes discarded past ``good_offset``.
+    torn_bytes: int = 0
+    #: Records discarded because they sit in a trailing open batch.
+    open_batch_records: int = 0
+
+    @property
+    def next_lsn(self) -> int:
+        """First LSN to append after truncating to the committed prefix."""
+        if self.committed_count:
+            return self.records[self.committed_count - 1].lsn + 1
+        return self.start_lsn
+
+    def committed_records(self) -> List[WalRecord]:
+        return self.records[: self.committed_count]
+
+
+def scan_wal(path: str) -> WalScan:
+    """Parse a log segment, classifying torn tails vs interior corruption."""
+    with open(path, "rb") as fh:
+        data = fh.read()
+    if len(data) < FILE_HEADER_SIZE or data[: len(FILE_MAGIC)] != FILE_MAGIC:
+        raise WalCorruptionError(
+            f"{path} is not an SMC write-ahead log", lsn=0, offset=0
+        )
+    (start_lsn,) = _FILE_HEADER.unpack_from(data, len(FILE_MAGIC))
+    scan = WalScan(path=path, start_lsn=start_lsn)
+    size = len(data)
+    pos = FILE_HEADER_SIZE
+    expected = start_lsn
+    while pos < size:
+        if size - pos < RECORD_HEADER_SIZE:
+            break  # torn header at the tail
+        crc, length, lsn, kind = _RECORD_HEADER.unpack_from(data, pos)
+        end = pos + RECORD_HEADER_SIZE + length
+        if length > MAX_RECORD:
+            if end >= size:
+                break  # garbage length in a torn tail write
+            raise WalCorruptionError(
+                f"{path}: record at offset {pos} (LSN {expected}) claims "
+                f"an impossible payload of {length} bytes",
+                lsn=expected,
+                offset=pos,
+            )
+        if end > size:
+            break  # torn final record: frame runs past EOF
+        payload = data[pos + RECORD_HEADER_SIZE : end]
+        if zlib.crc32(_CRC_BODY.pack(lsn, kind) + payload) != crc:
+            if end == size:
+                break  # torn final record: partially overwritten tail
+            raise WalCorruptionError(
+                f"{path}: CRC mismatch at LSN {expected} "
+                f"(offset {pos}) with valid records behind it — "
+                f"refusing to recover past interior corruption",
+                lsn=expected,
+                offset=pos,
+            )
+        if lsn != expected:
+            raise WalCorruptionError(
+                f"{path}: LSN discontinuity at offset {pos}: "
+                f"expected LSN {expected}, found {lsn}",
+                lsn=expected,
+                offset=pos,
+            )
+        try:
+            decoded = json.loads(payload.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as exc:
+            raise WalCorruptionError(
+                f"{path}: undecodable payload at LSN {expected}: {exc}",
+                lsn=expected,
+                offset=pos,
+            ) from None
+        scan.records.append(WalRecord(lsn, kind, decoded, pos, end))
+        scan.good_offset = end
+        pos = end
+        expected += 1
+    scan.torn_bytes = size - scan.good_offset
+
+    # Committed prefix: everything up to (and including) the last record
+    # that is not part of a trailing open batch.
+    in_batch = False
+    for i, rec in enumerate(scan.records):
+        if rec.kind == BEGIN:
+            if in_batch:
+                raise WalCorruptionError(
+                    f"{path}: nested BEGIN at LSN {rec.lsn}",
+                    lsn=rec.lsn,
+                    offset=rec.offset,
+                )
+            in_batch = True
+        elif rec.kind == COMMIT:
+            if not in_batch:
+                raise WalCorruptionError(
+                    f"{path}: COMMIT without BEGIN at LSN {rec.lsn}",
+                    lsn=rec.lsn,
+                    offset=rec.offset,
+                )
+            in_batch = False
+            scan.committed_count = i + 1
+            scan.committed_offset = rec.end_offset
+        elif not in_batch:
+            scan.committed_count = i + 1
+            scan.committed_offset = rec.end_offset
+    scan.open_batch_records = len(scan.records) - scan.committed_count
+    return scan
+
+
+def dump_records(path: str) -> Iterator[WalRecord]:
+    """Yield every structurally valid record (``repro log-dump``)."""
+    yield from scan_wal(path).records
+
+
+class WriteAheadLog:
+    """Appender over one log segment, with group commit and fsync policy."""
+
+    def __init__(
+        self,
+        path: str,
+        fh,
+        *,
+        next_lsn: int,
+        offset: int,
+        fsync_policy: str = "commit",
+    ) -> None:
+        if fsync_policy not in FSYNC_POLICIES:
+            raise ValueError(
+                f"unknown fsync policy {fsync_policy!r}; "
+                f"choose from {FSYNC_POLICIES}"
+            )
+        self.path = path
+        self._fh = fh
+        self._lock = threading.RLock()
+        self._next_lsn = next_lsn
+        self._offset = offset
+        self._synced_offset = offset
+        self.fsync_policy = fsync_policy
+        self._batch_depth = 0
+        self._batch_seq = 0
+        self._dead = False
+        self._crashed = False
+        # Lifetime counters (the metrics bridge scrapes these).
+        self.records = 0
+        self.bytes_written = 0
+        self.fsyncs = 0
+        self.batches = 0
+
+    # -- construction ---------------------------------------------------
+
+    @classmethod
+    def create(
+        cls, path: str, start_lsn: int = 1, fsync_policy: str = "commit"
+    ) -> "WriteAheadLog":
+        """Create a fresh segment whose first record will carry *start_lsn*."""
+        fh = open(path, "xb", buffering=0)
+        try:
+            fh.write(FILE_MAGIC + _FILE_HEADER.pack(start_lsn))
+            os.fsync(fh.fileno())
+        except BaseException:
+            fh.close()
+            with contextlib.suppress(OSError):
+                os.unlink(path)
+            raise
+        fsync_dir(os.path.dirname(path) or ".")
+        return cls(
+            path,
+            fh,
+            next_lsn=start_lsn,
+            offset=FILE_HEADER_SIZE,
+            fsync_policy=fsync_policy,
+        )
+
+    @classmethod
+    def open(cls, path: str, fsync_policy: str = "commit") -> "WriteAheadLog":
+        """Reopen a segment for appending.
+
+        Scans the whole file first; a torn tail and any trailing
+        uncommitted batch are truncated away so new appends continue
+        from the last committed boundary with a contiguous LSN run.
+        """
+        scan = scan_wal(path)
+        fh = open(path, "r+b", buffering=0)
+        try:
+            if scan.committed_offset < os.path.getsize(path):
+                fh.truncate(scan.committed_offset)
+                os.fsync(fh.fileno())
+            fh.seek(scan.committed_offset)
+        except BaseException:
+            fh.close()
+            raise
+        return cls(
+            path,
+            fh,
+            next_lsn=scan.next_lsn,
+            offset=scan.committed_offset,
+            fsync_policy=fsync_policy,
+        )
+
+    # -- introspection --------------------------------------------------
+
+    @property
+    def next_lsn(self) -> int:
+        return self._next_lsn
+
+    @property
+    def last_lsn(self) -> int:
+        return self._next_lsn - 1
+
+    @property
+    def size(self) -> int:
+        return self._offset
+
+    @property
+    def payload_bytes(self) -> int:
+        """Record bytes appended to this segment (excludes the header)."""
+        return self._offset - FILE_HEADER_SIZE
+
+    @property
+    def synced_offset(self) -> int:
+        return self._synced_offset
+
+    def hold(self):
+        """The log's mutation lock (reentrant).
+
+        Durable collections hold it across *apply memory mutation + append
+        record* so no mutation can straddle a checkpoint cut; the
+        checkpointer holds it for the duration of a checkpoint.
+        """
+        return self._lock
+
+    # -- appending ------------------------------------------------------
+
+    def append(
+        self, kind: int, payload: Dict[str, Any], sync: Optional[bool] = None
+    ) -> int:
+        """Append one record; returns its LSN.
+
+        ``sync`` overrides the fsync policy for this record; by default
+        ``always`` syncs here, ``commit`` syncs unless a batch is open
+        (the batch's COMMIT syncs instead), ``none`` never does.
+        """
+        body = json.dumps(
+            payload, separators=(",", ":"), ensure_ascii=False
+        ).encode("utf-8")
+        with self._lock:
+            if self._crashed:
+                # Injected-crash model: the process is dead; cleanup
+                # paths unwinding through here must not reach the disk.
+                return self._next_lsn - 1
+            if self._dead:
+                raise SmcError(f"write-ahead log {self.path} is closed")
+            lsn = self._next_lsn
+            crc = zlib.crc32(_CRC_BODY.pack(lsn, kind) + body)
+            frame = _RECORD_HEADER.pack(crc, len(body), lsn, kind) + body
+            if _san.SANITIZER is not None:
+                # Split the write so an injected crash between the halves
+                # leaves a genuinely torn record on disk.
+                split = min(len(frame), RECORD_HEADER_SIZE + len(body) // 2)
+                self._fh.write(frame[:split])
+                self._offset += split
+                _san.SANITIZER.event(
+                    "wal.append.mid", wal=self, lsn=lsn, kind=kind
+                )
+                self._fh.write(frame[split:])
+                self._offset += len(frame) - split
+            else:
+                self._fh.write(frame)
+                self._offset += len(frame)
+            self._next_lsn = lsn + 1
+            self.records += 1
+            self.bytes_written += len(frame)
+            if sync is None:
+                sync = self.fsync_policy == "always" or (
+                    self.fsync_policy == "commit" and self._batch_depth == 0
+                )
+            if sync:
+                self.sync()
+            return lsn
+
+    @contextlib.contextmanager
+    def batch(self):
+        """Group-commit scope: BEGIN ... records ... COMMIT, one fsync.
+
+        The log's lock is held for the whole batch, so records from other
+        threads cannot interleave into it.  BEGIN/COMMIT bound the crash
+        atomicity unit: recovery drops a batch whose COMMIT never made it
+        to disk.  A Python exception inside the scope still commits the
+        records already appended — the in-memory mutations they describe
+        have already been applied and cannot be rolled back.
+        """
+        self._lock.acquire()
+        try:
+            if self._batch_depth == 0:
+                self._batch_seq += 1
+                self.batches += 1
+                # Open the batch before appending BEGIN, so BEGIN itself
+                # defers its fsync to the COMMIT like every batched record.
+                self._batch_depth = 1
+                self.append(BEGIN, {"n": self._batch_seq})
+            else:
+                self._batch_depth += 1
+            try:
+                yield self
+            finally:
+                self._batch_depth -= 1
+                if self._batch_depth == 0:
+                    self.append(
+                        COMMIT,
+                        {"n": self._batch_seq},
+                        sync=self.fsync_policy in ("always", "commit"),
+                    )
+        finally:
+            self._lock.release()
+
+    def sync(self) -> None:
+        """fsync the segment (fires the ``wal.fsync`` crash point first)."""
+        with self._lock:
+            if self._crashed:
+                return
+            if _san.SANITIZER is not None:
+                _san.SANITIZER.event("wal.fsync", wal=self)
+            os.fsync(self._fh.fileno())
+            self._synced_offset = self._offset
+            self.fsyncs += 1
+
+    def mark_crashed(self) -> None:
+        """Injected-crash model: the process died at this instant.
+
+        Every later append/sync/close becomes a silent no-op — a dead
+        process writes nothing more, and the exception injected at the
+        crash point unwinds through cleanup paths (batch COMMIT, close)
+        that must not touch the file behind a torn record.
+        """
+        with self._lock:
+            self._crashed = True
+
+    def simulate_power_loss(self) -> None:
+        """Drop unsynced bytes, as a power cut would (fault injection).
+
+        Truncates the file back to the last fsynced offset — everything
+        since then only ever reached the page cache — then marks the log
+        crashed so the dead store cannot keep appending.
+        """
+        with self._lock:
+            self._fh.truncate(self._synced_offset)
+            os.fsync(self._fh.fileno())
+            self._crashed = True
+
+    def close(self, sync: bool = True) -> None:
+        with self._lock:
+            if self._fh.closed:
+                return
+            if sync and not self._dead and not self._crashed:
+                os.fsync(self._fh.fileno())
+                self._synced_offset = self._offset
+                self.fsyncs += 1
+            self._fh.close()
+            self._dead = True
+
+
+def fsync_dir(path: str) -> None:
+    """fsync a directory so renames/creates inside it are durable."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without dir fds
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)

@@ -24,6 +24,12 @@ Format (little-endian)::
                       (-1 for null), ordinal = row position in the target
                       collection's enumeration
 
+After the last collection an optional index section lists each
+collection's secondary indexes (``u32 count``, then per index:
+collection name | field name | kind).  Loaders recreate and backfill
+them, so an index is never silently empty after a reload; files written
+before the section existed simply end at the rows and load index-free.
+
 References are rebuilt in a second pass after all rows exist, so cyclic
 and forward references round-trip.  Loading validates the stored field
 spec against the current tabular class and refuses mismatches.
@@ -31,6 +37,7 @@ spec against the current tabular class and refuses mismatches.
 
 from __future__ import annotations
 
+import os
 import struct
 from typing import Any, BinaryIO, Dict, List, Optional, Tuple
 
@@ -82,11 +89,22 @@ def _field_meta(field: Field) -> int:
 # ----------------------------------------------------------------------
 
 
-def save_collections(path: str, collections: Dict[str, Any]) -> int:
+def save_collections(
+    path: str,
+    collections: Dict[str, Any],
+    *,
+    fsync: bool = False,
+    entry_lists: Optional[Dict[str, List[int]]] = None,
+) -> int:
     """Write *collections* (name → collection) to *path*.
 
     Returns the number of rows written.  Reference fields may only point
-    at objects inside one of the saved collections.
+    at objects inside one of the saved collections.  With ``fsync`` the
+    file is fsynced before closing (checkpoints need the bytes durable
+    before the manifest rename can point at them).  ``entry_lists``, if
+    given, is filled with each collection's indirection-entry ids in row
+    write order — the recovery module zips them with the reloaded rows
+    to translate log records.
     """
     named = {
         name: coll
@@ -101,6 +119,8 @@ def save_collections(path: str, collections: Dict[str, Any]) -> int:
         handle_lists[name] = handles
         for i, handle in enumerate(handles):
             ordinals[handle.ref.entry] = (name, i)
+        if entry_lists is not None:
+            entry_lists[name] = [h.ref.entry for h in handles]
 
     rows_written = 0
     with open(path, "wb") as fh:
@@ -120,6 +140,20 @@ def save_collections(path: str, collections: Dict[str, Any]) -> int:
             for handle in handles:
                 _write_row(fh, layout, handle, ordinals)
                 rows_written += 1
+        # Trailing index section (old loaders stop at the rows).
+        specs = [
+            (name, field_name, kind)
+            for name, coll in named.items()
+            for field_name, kind in coll.index_specs()
+        ]
+        fh.write(_U32.pack(len(specs)))
+        for name, field_name, kind in specs:
+            _write_str(fh, name)
+            _write_str(fh, field_name)
+            _write_str(fh, kind)
+        if fsync:
+            fh.flush()
+            os.fsync(fh.fileno())
     return rows_written
 
 
@@ -245,6 +279,32 @@ def load_collections(
                 )
             handle = handles_by_name[coll.name][row_idx]
             setattr(handle, field_name, target_handles[ordinal])
+
+        # Optional trailing index section: recreate secondary indexes so
+        # they are backfilled from the reloaded rows (a loaded collection
+        # must never have a silently empty index).  Pre-section files end
+        # right here, which reads as zero bytes.
+        head = fh.read(4)
+        if head:
+            if len(head) != 4:
+                raise SnapshotError("truncated index section")
+            (n_indexes,) = _U32.unpack(head)
+            for __ in range(n_indexes):
+                coll_name = _read_str(fh)
+                field_name = _read_str(fh)
+                kind = _read_str(fh)
+                coll = collections.get(coll_name)
+                if coll is None:
+                    raise SnapshotError(
+                        f"index section names unknown collection "
+                        f"{coll_name!r}"
+                    )
+                if kind == "hash":
+                    coll.create_index(field_name)
+                elif kind == "sorted":
+                    coll.create_sorted_index(field_name)
+                else:
+                    raise SnapshotError(f"unknown index kind {kind!r}")
 
     collections["_manager"] = manager
     return collections

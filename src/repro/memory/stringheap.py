@@ -25,11 +25,21 @@ from __future__ import annotations
 import struct
 import threading
 from collections import deque
-from typing import TYPE_CHECKING, Deque, Dict, FrozenSet, List, Optional, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Deque,
+    Dict,
+    FrozenSet,
+    List,
+    Optional,
+    Tuple,
+)
 
 import numpy as np
 
 from repro.memory.addressing import NULL_ADDRESS
+from repro.sanitizer import hooks as _san
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.memory.addressing import AddressSpace
@@ -208,6 +218,12 @@ class StringDict:
         # retired codes awaiting the reuse grace period: (ready_epoch, code)
         self._limbo: Deque[Tuple[int, int]] = deque()
         self.version = 0
+        #: Durability hook: called as ``on_bind(code, text)`` after a NEW
+        #: binding is created (never for refcount bumps), outside the
+        #: dictionary's lock so the observer may take coarser locks (the
+        #: WAL lock) without inverting lock order against interning calls
+        #: made while those locks are held.
+        self.on_bind: Optional[Callable[[int, str], None]] = None
         self._text_array: Optional[np.ndarray] = None
         self._text_array_version = -1
         self._match_cache: Dict[
@@ -248,7 +264,11 @@ class StringDict:
                 self._refs.append(1)
             self._by_text[text] = code
             self.version += 1
-            return code
+        if _san.SANITIZER is not None:
+            _san.SANITIZER.event("strdict.bind", code=code, text=text)
+        if self.on_bind is not None:
+            self.on_bind(code, text)
+        return code
 
     def release(self, code: int) -> None:
         """Drop one reference to *code*; retires the binding at zero."""

@@ -21,7 +21,17 @@ path or mutates protocol state to force a rare edge case:
     raise :class:`~repro.errors.InjectedFaultError` from the compactor's
     moving phase (the ``compact.move_item`` point) after a configurable
     number of successful moves — simulating a compactor thread dying
-    mid-relocation.
+    mid-relocation;
+``crash_at``
+    raise :class:`~repro.errors.InjectedFaultError` from *any* named
+    event point — the durability subsystem uses it to kill the process
+    model between a write-ahead log append's split halves
+    (``wal.append.mid``), before an fsync (``wal.fsync``) and around a
+    checkpoint's renames (``checkpoint.snapshot_rename``,
+    ``checkpoint.manifest_rename``).  With ``power_loss=True`` a crash
+    at a WAL point also truncates the log file back to its last fsynced
+    offset first, modelling page-cache loss on power failure rather
+    than a mere process kill.
 
 Fault counters are consumed exactly once per armed fault, so tests can
 assert that the system *degrades into the injected error and nothing
@@ -48,6 +58,8 @@ class FaultPlan:
         self._overflow_mode = "retire"
         self._crash_after_moves = 0
         self._crash_armed = False
+        # point -> [skip, times, power_loss] for generic crash_at faults.
+        self._crash_points: Dict[str, list] = {}
         self.fired: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
@@ -77,6 +89,24 @@ class FaultPlan:
         with self._lock:
             self._crash_after_moves = after_moves
             self._crash_armed = True
+        return self
+
+    def crash_at(
+        self,
+        point: str,
+        after: int = 0,
+        times: int = 1,
+        power_loss: bool = False,
+    ) -> "FaultPlan":
+        """Raise ``InjectedFaultError`` at *point* once *after* passes.
+
+        *point* is any sanitizer event name; the event's data travels
+        with the fault, so a ``power_loss`` crash at a WAL point can
+        first drop the log's unsynced bytes
+        (:meth:`~repro.durability.wal.WriteAheadLog.simulate_power_loss`).
+        """
+        with self._lock:
+            self._crash_points[point] = [after, times, power_loss]
         return self
 
     # ------------------------------------------------------------------
@@ -120,6 +150,30 @@ class FaultPlan:
                 )
             raise InjectedFaultError(
                 "injected compactor crash mid-relocation (sanitizer fault plan)"
+            )
+        spec = self._crash_points.get(point)
+        if spec is not None:
+            with self._lock:
+                spec = self._crash_points.get(point)
+                if spec is None or spec[1] <= 0:
+                    return
+                if spec[0] > 0:
+                    spec[0] -= 1
+                    return
+                spec[1] -= 1
+                power_loss = spec[2]
+                self.fired[point] = self.fired.get(point, 0) + 1
+            wal = data.get("wal")
+            if wal is not None:
+                # The "process" dies here: with power_loss the unsynced
+                # bytes vanish too; either way the log goes inert so
+                # unwinding cleanup paths cannot write past the crash.
+                if power_loss:
+                    wal.simulate_power_loss()
+                else:
+                    wal.mark_crashed()
+            raise InjectedFaultError(
+                f"injected crash at {point} (sanitizer fault plan)"
             )
 
     @staticmethod

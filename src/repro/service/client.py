@@ -113,6 +113,58 @@ class ServiceClient:
         reply = self.call(message)
         return Result(reply["columns"], protocol.decode_rows(reply["rows"]))
 
+    def mutate(
+        self,
+        ops: list,
+        queue_class: str = "default",
+    ) -> list:
+        """Apply a batch of mutation ops as one durable group commit.
+
+        Each op is a dict: ``{"op": "add", "collection": ..., "values":
+        {...}}``, ``{"op": "update", "collection": ..., "entry": ...,
+        "values": {...}}`` or ``{"op": "remove", "collection": ...,
+        "entry": ...}``.  Values holding Decimal/date/datetime must be
+        pre-encoded with :func:`protocol.encode_value`; reference fields
+        take ``{"$r": entry}``.  Returns the per-op result list (an
+        ``add`` reports the new row's ``entry``).
+        """
+        message: Dict[str, Any] = {
+            "op": "mutate",
+            "ops": ops,
+            "class": queue_class,
+        }
+        if self.session is not None:
+            message["session"] = self.session
+        return self.call(message)["results"]
+
+    def add(self, collection: str, **values: Any) -> int:
+        """Durably add one row; returns its indirection entry id."""
+        encoded = {k: protocol.encode_value(v) for k, v in values.items()}
+        (result,) = self.mutate(
+            [{"op": "add", "collection": collection, "values": encoded}]
+        )
+        return result["entry"]
+
+    def update(self, collection: str, entry: int, **values: Any) -> None:
+        """Durably update fields of the row at *entry*."""
+        encoded = {k: protocol.encode_value(v) for k, v in values.items()}
+        self.mutate(
+            [
+                {
+                    "op": "update",
+                    "collection": collection,
+                    "entry": entry,
+                    "values": encoded,
+                }
+            ]
+        )
+
+    def remove(self, collection: str, entry: int) -> None:
+        """Durably remove the row at *entry*."""
+        self.mutate(
+            [{"op": "remove", "collection": collection, "entry": entry}]
+        )
+
     def metrics(self) -> str:
         """Scrape the Prometheus-format metrics exposition."""
         return self.call({"op": "metrics"})["text"]

@@ -402,6 +402,45 @@ def instrument_manager(registry: MetricsRegistry, manager) -> None:
     registry.add_snapshot("manager_counters", _manager_counters)
 
 
+def instrument_durability(registry: MetricsRegistry, store) -> None:
+    """Export the durable store's WAL/checkpoint/recovery telemetry.
+
+    All series are scrape-time reads of
+    :meth:`~repro.durability.store.DurableStore.stats`, so they follow
+    checkpoint segment rollovers without re-registration.
+    """
+
+    def _stats() -> Dict[str, float]:
+        s = store.stats()
+        return {
+            "smc_wal_bytes_total": float(s["wal_bytes_total"]),
+            "smc_wal_records_total": float(s["wal_records_total"]),
+            "smc_wal_fsyncs_total": float(s["wal_fsyncs_total"]),
+            "smc_wal_batches_total": float(s["wal_batches_total"]),
+            "smc_checkpoints_total": float(s["checkpoints_total"]),
+            "smc_recovery_replayed_total": float(
+                s["recovery_replayed_total"]
+            ),
+        }
+
+    registry.add_snapshot("durability", _stats)
+    registry.gauge(
+        "smc_wal_size_bytes",
+        "Current write-ahead log segment size on disk",
+        callback=lambda: float(store.stats()["wal_size_bytes"]),
+    )
+    registry.gauge(
+        "smc_checkpoint_duration_seconds",
+        "Duration of the most recent checkpoint",
+        callback=lambda: float(store.stats()["checkpoint_last_duration"]),
+    )
+    registry.gauge(
+        "smc_checkpoint_rows",
+        "Rows written by the most recent checkpoint",
+        callback=lambda: float(store.stats()["checkpoint_last_rows"]),
+    )
+
+
 def engine_snapshot(registry: MetricsRegistry) -> None:
     """Contribute the compiled-function cache stats at scrape time.
 

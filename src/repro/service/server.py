@@ -35,6 +35,7 @@ from repro.service.admission import AdmissionController, OverloadedError
 from repro.service.metrics import (
     MetricsRegistry,
     engine_snapshot,
+    instrument_durability,
     instrument_manager,
 )
 from repro.service.plancache import PlanCache
@@ -123,6 +124,7 @@ class QueryService:
         queue_depth: int = 32,
         class_timeouts: Optional[Dict[str, float]] = None,
         metrics: Optional[MetricsRegistry] = None,
+        store=None,
     ) -> None:
         self.collections = {
             k: v for k, v in collections.items() if not k.startswith("_")
@@ -130,9 +132,16 @@ class QueryService:
         self.manager = manager or collections.get("_manager")
         if self.manager is None:
             raise ValueError("a memory manager is required")
+        #: Optional :class:`~repro.durability.DurableStore` backing the
+        #: served collections.  When set, the ``mutate`` op persists its
+        #: changes through the write-ahead log (one group commit per
+        #: request) and ``close`` checkpoints and closes the store.
+        self.store = store
         self.metrics = metrics or MetricsRegistry()
         instrument_manager(self.metrics, self.manager)
         engine_snapshot(self.metrics)
+        if store is not None:
+            instrument_durability(self.metrics, store)
         self.sessions = SessionRegistry(
             self.manager, lease_ttl=lease_ttl, metrics=self.metrics
         )
@@ -188,6 +197,8 @@ class QueryService:
                 response = {"ok": True, "pong": True}
             elif op == "query":
                 response = self._op_query(message)
+            elif op == "mutate":
+                response = self._op_mutate(message)
             elif op == "metrics":
                 response = {"ok": True, "text": self.metrics.expose()}
             elif op == "info":
@@ -308,9 +319,50 @@ class QueryService:
             "elapsed_ms": elapsed_ms,
         }
 
+    def _op_mutate(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        from repro.durability import MutationError
+
+        if self.store is None:
+            return {
+                "ok": False,
+                "error": "BAD_REQUEST",
+                "detail": "server is not running with a data directory",
+            }
+        ops = message.get("ops")
+        session = None
+        session_id = message.get("session")
+        if session_id is not None:
+            session = self.sessions.require(str(session_id))
+            session.touch()
+        queue_class = str(message.get("class", "default"))
+        self.admission.acquire(queue_class)
+        try:
+            if session is not None:
+                session.enter()
+            try:
+                # One group commit per request: the whole op list rides a
+                # single BEGIN/COMMIT batch and one fsync.
+                try:
+                    results = self.store.apply(ops)
+                except MutationError as exc:
+                    return {
+                        "ok": False,
+                        "error": "BAD_REQUEST",
+                        "detail": str(exc),
+                    }
+            finally:
+                if session is not None:
+                    session.exit()
+        finally:
+            self.admission.release()
+        self.store.maybe_checkpoint()
+        return {"ok": True, "results": results}
+
     def close(self) -> None:
         self.stop_churn()
         self.sessions.close()
+        if self.store is not None:
+            self.store.close(checkpoint=True)
 
 
 class ServiceServer:
@@ -327,6 +379,7 @@ class ServiceServer:
         self._listener.settimeout(0.2)
         self.host, self.port = self._listener.getsockname()[:2]
         self._stop = threading.Event()
+        self._stopped = threading.Event()
         self._accept_thread: Optional[threading.Thread] = None
         self._conn_threads: List[threading.Thread] = []
         self._conns: List[socket.socket] = []
@@ -374,8 +427,13 @@ class ServiceServer:
                 if message.get("op") == "shutdown":
                     protocol.send_message(conn, {"ok": True, "stopping": True})
                     # Stop from a helper thread: stop() joins connection
-                    # threads, so it must not run on one.
-                    threading.Thread(target=self.stop, daemon=True).start()
+                    # threads, so it must not run on one.  Non-daemon so
+                    # service.close() (the durable store's final
+                    # checkpoint) completes even if the main thread
+                    # returns as soon as it sees _stop set.
+                    threading.Thread(
+                        target=self.stop, name="service-shutdown"
+                    ).start()
                     break
                 response = self.service.handle(message)
                 try:
@@ -389,9 +447,14 @@ class ServiceServer:
                 pass
 
     def stop(self) -> None:
-        if self._stop.is_set():
+        with self._lock:
+            already_stopping = self._stop.is_set()
+            self._stop.set()
+        if already_stopping:
+            # Another thread is (or has finished) tearing down — wait for
+            # it so callers never race service.close()'s final checkpoint.
+            self._stopped.wait(timeout=60.0)
             return
-        self._stop.set()
         try:
             self._listener.close()
         except OSError:
@@ -414,7 +477,10 @@ class ServiceServer:
                 pass
         for thread in threads:
             thread.join(timeout=5.0)
-        self.service.close()
+        try:
+            self.service.close()
+        finally:
+            self._stopped.set()
 
     def __enter__(self) -> "ServiceServer":
         return self.start()

@@ -70,3 +70,52 @@ def test_bench_unknown_figure_rejected():
     proc = _repro("bench", "fig99")
     assert proc.returncode == 2
     assert "no bench matches" in proc.stderr
+
+# ----------------------------------------------------------------------
+# Durability commands
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture()
+def data_dir(snapshot, tmp_path):
+    """A data directory initialized from the module's TPC-H snapshot."""
+    path = str(tmp_path / "data")
+    proc = _repro("restore", path, snapshot)
+    assert proc.returncode == 0, proc.stderr
+    assert "restored" in proc.stdout
+    return path
+
+
+def test_restore_refuses_existing_dir(data_dir, snapshot):
+    proc = _repro("restore", data_dir, snapshot)
+    assert proc.returncode == 2
+    assert "initialized" in proc.stderr
+
+
+def test_recover_reports_state(data_dir):
+    proc = _repro("recover", data_dir)
+    assert proc.returncode == 0, proc.stderr
+    assert "recovered" in proc.stdout
+    assert "lineitem" in proc.stdout
+
+
+def test_recover_uninitialized_dir_rejected(tmp_path):
+    proc = _repro("recover", str(tmp_path / "empty"))
+    assert proc.returncode == 1
+    assert "not an initialized data directory" in proc.stderr
+
+
+def test_log_dump_of_data_dir(data_dir):
+    proc = _repro("log-dump", data_dir)
+    assert proc.returncode == 0, proc.stderr
+    assert "segment starts at LSN 1" in proc.stdout
+    assert "0 records (0 committed)" in proc.stdout
+
+
+def test_snapshot_export_roundtrips(data_dir, tmp_path):
+    out = str(tmp_path / "export.smcsnap")
+    proc = _repro("snapshot", data_dir, out)
+    assert proc.returncode == 0, proc.stderr
+    info = _repro("info", out)
+    assert info.returncode == 0, info.stderr
+    assert "lineitem" in info.stdout

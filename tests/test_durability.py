@@ -1,0 +1,532 @@
+"""Durability subsystem: WAL framing, checkpoints, crash recovery.
+
+The crash-matrix test is the subsystem's acceptance gate: every
+injected crash point (mid-append, pre-fsync with power loss, checkpoint
+begin/renames) must recover to a state whose TPC-H query results are
+byte-identical to the never-crashed reference, a torn final WAL record
+must be dropped silently, and interior corruption must be refused with
+an error naming the LSN.
+"""
+
+import datetime
+import os
+from decimal import Decimal
+
+import pytest
+
+from repro.core.collection import Collection
+from repro.durability import (
+    DataDirError,
+    DurableStore,
+    MutationError,
+    RecoveryError,
+    WalCorruptionError,
+    WriteAheadLog,
+    recover,
+    scan_wal,
+)
+from repro.durability.wal import (
+    ADD,
+    BEGIN,
+    COMMIT,
+    FILE_HEADER_SIZE,
+    RECORD_HEADER_SIZE,
+)
+from repro.errors import InjectedFaultError
+from repro.memory.manager import MemoryManager
+
+from tests.schemas import TNote, TOrder, TPerson
+
+
+@pytest.fixture
+def wal_path(tmp_path):
+    return str(tmp_path / "test.log")
+
+
+@pytest.fixture
+def data_dir(tmp_path):
+    return str(tmp_path / "data")
+
+
+def _fresh_store(data_dir, **kwargs):
+    manager = MemoryManager(string_dict=True)
+    collections = {
+        "persons": Collection(TPerson, manager=manager),
+        "orders": Collection(TOrder, manager=manager),
+        "notes": Collection(TNote, manager=manager),
+        "_manager": manager,
+    }
+    store = DurableStore.create(data_dir, collections=collections, **kwargs)
+    return store, collections, manager
+
+
+def _state(collections):
+    return {
+        "persons": sorted(
+            (h.name, h.age, h.balance) for h in collections["persons"]
+        ),
+        "orders": sorted(
+            (h.orderkey, h.owner.name if h.owner else None, h.total)
+            for h in collections["orders"]
+        ),
+        "notes": sorted((h.text, h.stars) for h in collections["notes"]),
+    }
+
+
+# ----------------------------------------------------------------------
+# WAL framing
+# ----------------------------------------------------------------------
+
+
+class TestWal:
+    def test_append_scan_roundtrip(self, wal_path):
+        wal = WriteAheadLog.create(wal_path, fsync_policy="none")
+        lsns = [wal.append(ADD, {"c": "x", "e": i}) for i in range(5)]
+        wal.close()
+        scan = scan_wal(wal_path)
+        assert lsns == [1, 2, 3, 4, 5]
+        assert [r.lsn for r in scan.records] == lsns
+        assert [r.payload["e"] for r in scan.records] == list(range(5))
+        assert scan.torn_bytes == 0
+        assert scan.committed_count == 5
+
+    def test_torn_final_record_dropped(self, wal_path):
+        wal = WriteAheadLog.create(wal_path, fsync_policy="none")
+        for i in range(3):
+            wal.append(ADD, {"c": "x", "e": i})
+        wal.close()
+        size = os.path.getsize(wal_path)
+        with open(wal_path, "r+b") as fh:
+            fh.truncate(size - 4)  # cut into the last record's payload
+        scan = scan_wal(wal_path)
+        assert [r.lsn for r in scan.records] == [1, 2]
+        assert scan.torn_bytes > 0
+
+    def test_torn_header_dropped(self, wal_path):
+        wal = WriteAheadLog.create(wal_path, fsync_policy="none")
+        wal.append(ADD, {"c": "x", "e": 0})
+        end = wal.size
+        wal.close()
+        with open(wal_path, "ab") as fh:
+            fh.write(b"\x01\x02\x03")  # 3 bytes of a never-finished header
+        scan = scan_wal(wal_path)
+        assert scan.committed_count == 1
+        assert scan.good_offset == end
+        assert scan.torn_bytes == 3
+
+    def test_interior_corruption_names_lsn(self, wal_path):
+        wal = WriteAheadLog.create(wal_path, fsync_policy="none")
+        offsets = {}
+        for i in range(4):
+            lsn = wal.append(ADD, {"c": "x", "e": i})
+            offsets[lsn] = wal.size
+        wal.close()
+        # Flip one payload byte of LSN 2 (an interior record).
+        with open(wal_path, "r+b") as fh:
+            fh.seek(offsets[1] + RECORD_HEADER_SIZE + 2)
+            byte = fh.read(1)
+            fh.seek(-1, os.SEEK_CUR)
+            fh.write(bytes([byte[0] ^ 0xFF]))
+        with pytest.raises(WalCorruptionError) as err:
+            scan_wal(wal_path)
+        assert err.value.lsn == 2
+        assert "LSN 2" in str(err.value)
+        assert isinstance(err.value, RecoveryError)
+
+    def test_trailing_open_batch_excluded_and_truncated(self, wal_path):
+        wal = WriteAheadLog.create(wal_path, fsync_policy="none")
+        with wal.batch():
+            wal.append(ADD, {"e": 0})
+        # A batch whose COMMIT never lands: append BEGIN + one record by
+        # hand, then "crash" without the COMMIT.
+        wal.append(BEGIN, {"n": 99})
+        wal.append(ADD, {"e": 1})
+        wal.close()
+        scan = scan_wal(wal_path)
+        assert scan.open_batch_records == 2
+        kinds = [r.kind for r in scan.committed_records()]
+        assert kinds == [BEGIN, ADD, COMMIT]
+
+        reopened = WriteAheadLog.open(wal_path, fsync_policy="none")
+        assert reopened.next_lsn == 4  # LSNs 4-5 were dropped
+        lsn = reopened.append(ADD, {"e": 2})
+        assert lsn == 4
+        reopened.close()
+        again = scan_wal(wal_path)
+        assert [r.lsn for r in again.records] == [1, 2, 3, 4]
+
+    def test_not_a_wal_rejected(self, tmp_path):
+        path = str(tmp_path / "junk.log")
+        with open(path, "wb") as fh:
+            fh.write(b"definitely not a log")
+        with pytest.raises(WalCorruptionError):
+            scan_wal(path)
+
+    def test_batch_is_single_fsync(self, wal_path):
+        wal = WriteAheadLog.create(wal_path, fsync_policy="commit")
+        with wal.batch():
+            for i in range(10):
+                wal.append(ADD, {"e": i})
+        assert wal.fsyncs == 1
+        wal.close()
+
+
+# ----------------------------------------------------------------------
+# Store: log + replay equality
+# ----------------------------------------------------------------------
+
+
+class TestStoreRecovery:
+    def test_mutations_replay_exactly(self, data_dir):
+        store, colls, manager = _fresh_store(data_dir)
+        p1 = colls["persons"].add(name="alice", age=30, balance=Decimal("1.50"))
+        p2 = colls["persons"].add(name="bob", age=40)
+        colls["orders"].add(
+            orderkey=1,
+            owner=p1,
+            total=Decimal("9.99"),
+            placed=datetime.date(2024, 5, 17),
+        )
+        colls["orders"].add(orderkey=2, owner=None)
+        colls["notes"].add(text="hello world", stars=5)
+        colls["notes"].add(text="hello world", stars=1)  # sid reuse
+        p1.age = 31
+        colls["persons"].remove(p2)
+        expected = _state(colls)
+        store.close()
+        manager.close()
+
+        loaded, report = recover(data_dir)
+        assert _state(loaded) == expected
+        assert report.replayed > 0
+        assert report.interned == 1  # "hello world" interned once
+        loaded["_manager"].close()
+
+    def test_open_resumes_and_checkpoint_truncates(self, data_dir):
+        store, colls, manager = _fresh_store(data_dir)
+        colls["persons"].add(name="a", age=1)
+        store.close()
+        manager.close()
+
+        s2 = DurableStore.open(data_dir)
+        s2.collections["persons"].add(name="b", age=2)
+        manifest = s2.checkpoint()
+        assert manifest["rows"] == 2
+        # The old segment is swept; the new one starts after the cut.
+        wal_files = [
+            f for f in os.listdir(data_dir) if f.startswith("wal-")
+        ]
+        assert wal_files == [os.path.basename(s2.wal.path)]
+        s2.collections["persons"].add(name="c", age=3)
+        s2.close()
+
+        loaded, report = recover(data_dir)
+        assert sorted(h.name for h in loaded["persons"]) == ["a", "b", "c"]
+        assert report.checkpoint_rows == 2
+        loaded["_manager"].close()
+
+    def test_remove_where_is_logged(self, data_dir):
+        store, colls, manager = _fresh_store(data_dir)
+        for i in range(10):
+            colls["persons"].add(name=f"p{i}", age=i)
+        removed = colls["persons"].remove_where(TPerson.age < 5)
+        assert removed == 5
+        expected = _state(colls)
+        store.close()
+        manager.close()
+        loaded, __ = recover(data_dir)
+        assert _state(loaded) == expected
+        loaded["_manager"].close()
+
+    def test_recovered_store_keeps_indexes(self, data_dir):
+        store, colls, manager = _fresh_store(data_dir)
+        colls["persons"].create_index("age")
+        for i in range(20):
+            colls["persons"].add(name=f"p{i}", age=i % 4)
+        store.checkpoint()
+        colls["persons"].add(name="late", age=2)
+        store.close()
+        manager.close()
+
+        loaded, __ = recover(data_dir)
+        (index,) = loaded["persons"]._indexes
+        assert index.field_name == "age"
+        assert len(index.get(2)) == 6  # 5 checkpointed + 1 replayed
+        loaded["_manager"].close()
+
+    def test_uninitialized_dir_refused(self, tmp_path):
+        with pytest.raises(RecoveryError):
+            recover(str(tmp_path / "nothing"))
+
+    def test_double_create_refused(self, data_dir):
+        store, __, manager = _fresh_store(data_dir)
+        store.close()
+        manager.close()
+        with pytest.raises(DataDirError):
+            DurableStore.create(data_dir)
+
+    def test_interior_corruption_refused_at_recovery(self, data_dir):
+        store, colls, manager = _fresh_store(data_dir, fsync_policy="none")
+        for i in range(5):
+            colls["persons"].add(name=f"p{i}", age=i)
+        wal_path = store.wal.path
+        store.close()
+        manager.close()
+        with open(wal_path, "r+b") as fh:
+            fh.seek(FILE_HEADER_SIZE + RECORD_HEADER_SIZE + 4)
+            byte = fh.read(1)
+            fh.seek(-1, os.SEEK_CUR)
+            fh.write(bytes([byte[0] ^ 0xFF]))
+        with pytest.raises(RecoveryError) as err:
+            recover(data_dir)
+        assert "LSN 1" in str(err.value)
+
+
+# ----------------------------------------------------------------------
+# Mutation batches (the service-facing op API)
+# ----------------------------------------------------------------------
+
+
+class TestApply:
+    def test_apply_batch_roundtrip(self, data_dir):
+        store, colls, manager = _fresh_store(data_dir)
+        results = store.apply(
+            [
+                {
+                    "op": "add",
+                    "collection": "persons",
+                    "values": {"name": "ann", "age": 33},
+                },
+            ]
+        )
+        entry = results[0]["entry"]
+        store.apply(
+            [
+                {
+                    "op": "add",
+                    "collection": "orders",
+                    "values": {
+                        "orderkey": 7,
+                        "owner": {"$r": entry},
+                        "total": {"$d": "12.34"},
+                    },
+                },
+                {
+                    "op": "update",
+                    "collection": "persons",
+                    "entry": entry,
+                    "values": {"age": 34},
+                },
+            ]
+        )
+        assert [h.age for h in colls["persons"]] == [34]
+        (order,) = colls["orders"]
+        assert order.owner.name == "ann"
+        assert order.total == Decimal("12.34")
+        expected = _state(colls)
+        store.close()
+        manager.close()
+        loaded, __ = recover(data_dir)
+        assert _state(loaded) == expected
+        loaded["_manager"].close()
+
+    def test_apply_rejects_garbage(self, data_dir):
+        store, colls, manager = _fresh_store(data_dir)
+        with pytest.raises(MutationError):
+            store.apply([])
+        with pytest.raises(MutationError):
+            store.apply([{"op": "add", "collection": "nope", "values": {}}])
+        with pytest.raises(MutationError):
+            store.apply(
+                [
+                    {
+                        "op": "add",
+                        "collection": "persons",
+                        "values": {"bogus": 1},
+                    }
+                ]
+            )
+        with pytest.raises(MutationError):
+            store.apply(
+                [{"op": "remove", "collection": "persons", "entry": -3}]
+            )
+        with pytest.raises(MutationError):
+            store.apply(
+                [{"op": "frobnicate", "collection": "persons"}]
+            )
+        store.close()
+        manager.close()
+
+
+# ----------------------------------------------------------------------
+# Crash matrix (acceptance gate)
+# ----------------------------------------------------------------------
+
+CRASH_POINTS = [
+    ("wal.append.mid", False, 30),
+    ("wal.append.mid", False, 0),
+    ("wal.fsync", True, 1),
+    ("checkpoint.begin", False, 0),
+    ("checkpoint.snapshot_rename", False, 0),
+    ("checkpoint.manifest_rename", False, 0),
+]
+
+
+class TestCrashMatrix:
+    @pytest.mark.parametrize(
+        "point,power_loss,after",
+        CRASH_POINTS,
+        ids=[f"{p}-pl{int(pl)}-a{a}" for p, pl, a in CRASH_POINTS],
+    )
+    def test_recovery_is_byte_exact(
+        self, tpch_tiny, tmp_path, point, power_loss, after
+    ):
+        """Crash anywhere; recovered TPC-H answers match the reference."""
+        from repro import sanitizer
+        from repro.tpch.loader import load_smc
+        from repro.tpch.queries import DEFAULT_PARAMS, QUERIES
+
+        def run_mix(collections):
+            plain = {
+                k: v for k, v in collections.items() if not k.startswith("_")
+            }
+            return {
+                name: sorted(
+                    map(
+                        repr,
+                        QUERIES[name](plain)
+                        .run(engine="compiled", params=DEFAULT_PARAMS)
+                        .rows,
+                    )
+                )
+                for name in ("q1", "q6")
+            }
+
+        data_dir = str(tmp_path / "dd")
+        collections = load_smc(tpch_tiny)
+        collections["scratch"] = Collection(
+            TNote, manager=collections["_manager"], name="scratch"
+        )
+        store = DurableStore.create(
+            data_dir, collections=collections, fsync_policy="commit"
+        )
+        reference = run_mix(collections)
+
+        plan = sanitizer.FaultPlan().crash_at(
+            point, after=after, power_loss=power_loss
+        )
+        with sanitizer.enabled(faults=plan):
+            with pytest.raises(InjectedFaultError):
+                for i in range(60):
+                    with store.batch():
+                        for j in range(5):
+                            collections["scratch"].add(
+                                text=f"note-{i}-{j}", stars=j
+                            )
+                store.checkpoint()
+        assert plan.fired.get(point) == 1
+        # Simulated kill: no close(); recover from what hit the disk.
+        collections["_manager"].close()
+
+        loaded, report = recover(data_dir)
+        assert run_mix(loaded) == reference
+        # The recovered scratch rows are a committed prefix of the run.
+        texts = sorted(h.text for h in loaded["scratch"])
+        assert len(texts) % 5 == 0
+        assert texts == sorted(
+            f"note-{i}-{j}" for i in range(len(texts) // 5) for j in range(5)
+        )
+        loaded["_manager"].close()
+
+    def test_torn_append_reopen_appends_cleanly(self, data_dir):
+        """After a mid-append crash, open() truncates and resumes."""
+        from repro import sanitizer
+
+        store, colls, manager = _fresh_store(data_dir, fsync_policy="commit")
+        colls["persons"].add(name="before", age=1)
+        plan = sanitizer.FaultPlan().crash_at("wal.append.mid")
+        with sanitizer.enabled(faults=plan):
+            with pytest.raises(InjectedFaultError):
+                colls["persons"].add(name="torn", age=2)
+        manager.close()
+
+        s2 = DurableStore.open(data_dir)
+        assert sorted(h.name for h in s2.collections["persons"]) == ["before"]
+        s2.collections["persons"].add(name="after", age=3)
+        s2.close()
+        loaded, __ = recover(data_dir)
+        assert sorted(h.name for h in loaded["persons"]) == [
+            "after",
+            "before",
+        ]
+        loaded["_manager"].close()
+
+
+# ----------------------------------------------------------------------
+# Service integration
+# ----------------------------------------------------------------------
+
+
+class TestServicePersistence:
+    def test_mutate_op_and_restart(self, data_dir):
+        from repro.service.server import QueryService
+
+        store, colls, manager = _fresh_store(data_dir)
+        service = QueryService(colls, manager, store=store)
+        reply = service.handle(
+            {
+                "op": "mutate",
+                "ops": [
+                    {
+                        "op": "add",
+                        "collection": "persons",
+                        "values": {"name": "srv", "age": 9},
+                    }
+                ],
+            }
+        )
+        assert reply["ok"], reply
+        entry = reply["results"][0]["entry"]
+        reply = service.handle(
+            {
+                "op": "mutate",
+                "ops": [
+                    {
+                        "op": "update",
+                        "collection": "persons",
+                        "entry": entry,
+                        "values": {"age": 10},
+                    }
+                ],
+            }
+        )
+        assert reply["ok"], reply
+        bad = service.handle(
+            {
+                "op": "mutate",
+                "ops": [{"op": "add", "collection": "nope", "values": {}}],
+            }
+        )
+        assert not bad["ok"] and bad["error"] == "BAD_REQUEST"
+        metrics = service.metrics.expose()
+        assert "smc_wal_bytes_total" in metrics
+        assert "smc_checkpoint_duration_seconds" in metrics
+        assert "smc_recovery_replayed_total" in metrics
+        service.close()  # checkpoints + closes the store
+        manager.close()
+
+        reopened = DurableStore.open(data_dir)
+        assert [
+            (h.name, h.age) for h in reopened.collections["persons"]
+        ] == [("srv", 10)]
+        assert reopened.report.replayed == 0  # close() checkpointed
+        reopened.close()
+
+    def test_mutate_without_store_is_bad_request(self, manager):
+        from repro.service.server import QueryService
+
+        colls = {"persons": Collection(TPerson, manager=manager)}
+        service = QueryService(colls, manager)
+        reply = service.handle({"op": "mutate", "ops": []})
+        assert not reply["ok"] and reply["error"] == "BAD_REQUEST"
+        service.close()

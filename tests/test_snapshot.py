@@ -1,6 +1,7 @@
 """Snapshot persistence: save/load roundtrips."""
 
 import datetime
+import os
 from decimal import Decimal
 
 import pytest
@@ -179,3 +180,187 @@ def test_dict_varstring_roundtrip_after_compaction(snap_path):
     assert sorted((h.text, h.stars) for h in lp) == expected
     plain["_manager"].close()
     manager.close()
+
+def test_indexes_survive_roundtrip(manager, snap_path):
+    """Regression: loaded collections used to come back with no indexes.
+
+    ``save_collections`` now records every ``index_specs()`` entry in a
+    trailing section and the loader re-creates (and re-populates) them,
+    so queries that rely on index acceleration keep working — and stay
+    *correct* as post-load mutations update live indexes instead of
+    silently missing ones.
+    """
+    persons = Collection(TPerson, manager=manager)
+    persons.create_index("age")
+    persons.create_sorted_index("name")
+    for i in range(30):
+        persons.add(name=f"p{i:02d}", age=i % 3)
+
+    save_collections(snap_path, {"persons": persons})
+    loaded = load_collections(snap_path)
+    lp = loaded["persons"]
+
+    assert lp.index_specs() == [("age", "hash"), ("name", "sorted")]
+    hash_index, sorted_index = lp._indexes
+    assert len(hash_index.get(1)) == 10
+    assert [h.name for h in sorted_index.range("p00", "p04")] == [
+        "p00",
+        "p01",
+        "p02",
+        "p03",
+        "p04",
+    ]
+    # The re-created indexes are live, not a frozen copy.
+    lp.add(name="zz", age=1)
+    assert len(hash_index.get(1)) == 11
+    loaded["_manager"].close()
+
+
+def test_old_snapshot_without_index_section_loads(manager, snap_path):
+    """Pre-index snapshot files (no trailing section) still load."""
+    persons = Collection(TPerson, manager=manager)
+    persons.create_index("age")
+    persons.add(name="x", age=1)
+    save_collections(snap_path, {"persons": persons})
+    # Strip the trailing index section: u32 count + one (collection,
+    # field, kind) entry, each string u32-length-prefixed.
+    data = open(snap_path, "rb").read()
+    entry_len = sum(4 + len(s) for s in (b"persons", b"age", b"hash"))
+    with open(snap_path, "wb") as fh:
+        fh.write(data[: len(data) - 4 - entry_len])
+    loaded = load_collections(snap_path)
+    assert loaded["persons"].index_specs() == []
+    assert [h.age for h in loaded["persons"]] == [1]
+    loaded["_manager"].close()
+
+
+# ----------------------------------------------------------------------
+# Property-based roundtrip (hypothesis)
+# ----------------------------------------------------------------------
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import HealthCheck, given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+# CharField stores fixed-width bytes padded with NULs and the loader
+# rstrips trailing NUL/space, so generated codes must be ASCII with no
+# trailing whitespace.  VarStrings take arbitrary text (no surrogates).
+_codes = st.text(
+    alphabet=st.characters(min_codepoint=33, max_codepoint=126), max_size=10
+)
+_memos = st.text(
+    alphabet=st.characters(
+        codec="utf-8", exclude_categories=("Cs",), max_codepoint=0x2FFF
+    ),
+    max_size=24,
+)
+_decimals2 = st.decimals(
+    min_value=-10**6, max_value=10**6, places=2, allow_nan=False
+)
+_decimals4 = st.decimals(
+    min_value=-10**4, max_value=10**4, places=4, allow_nan=False
+)
+_dates = st.dates(
+    min_value=datetime.date(1970, 1, 1), max_value=datetime.date(2200, 1, 1)
+)
+
+_everything_rows = st.lists(
+    st.fixed_dictionaries(
+        {
+            "i8": st.integers(-128, 127),
+            "i16": st.integers(-(2**15), 2**15 - 1),
+            "i32": st.integers(-(2**31), 2**31 - 1),
+            "i64": st.integers(-(2**63), 2**63 - 1),
+            "flag": st.booleans(),
+            "ratio": st.floats(allow_nan=False, allow_infinity=False, width=64),
+            "price": _decimals2,
+            "fine": _decimals4,
+            "day": _dates,
+            "code": _codes,
+            "memo": _memos,
+        }
+    ),
+    max_size=30,
+)
+
+_node_specs = st.lists(
+    st.tuples(st.integers(-(2**31), 2**31 - 1), st.integers(0, 40)),
+    max_size=20,
+)
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    rows=_everything_rows,
+    node_specs=_node_specs,
+    friend_of=st.lists(st.integers(0, 40), max_size=30),
+    use_dict=st.booleans(),
+)
+def test_snapshot_roundtrip_property(rows, node_specs, friend_of, use_dict):
+    """SMCSNAP1 round-trips arbitrary rows: every field kind, null and
+    cyclic references, dict-encoded varstrings."""
+    import tempfile
+
+    manager = MemoryManager(string_dict=use_dict)
+    tmp = tempfile.TemporaryDirectory(prefix="smcsnap-prop-")
+    path = os.path.join(tmp.name, "prop.smcsnap")
+    try:
+        persons = Collection(TPerson, manager=manager)
+        every = Collection(TEverything, manager=manager)
+        nodes = Collection(TNode, manager=manager)
+        people = [
+            persons.add(name=f"p{i}", age=i)
+            for i in range(max(friend_of, default=-1) + 1)
+        ]
+        for i, row in enumerate(rows):
+            friend = None
+            if i < len(friend_of) and people:
+                friend = people[friend_of[i] % len(people)]
+            every.add(friend=friend, **row)
+        made = [nodes.add(value=value) for value, __ in node_specs]
+        for handle, (__, nxt) in zip(made, node_specs):
+            if made:
+                handle.next = made[nxt % len(made)]  # cycles welcome
+
+        expected_every = sorted((
+            (
+                h.i8, h.i16, h.i32, h.i64, h.flag, h.ratio, h.price,
+                h.fine, h.day, h.code, h.memo,
+                None if h.friend is None else h.friend.name,
+            )
+            for h in every
+        ), key=repr)
+        expected_nodes = sorted(
+            ((h.value, None if h.next is None else h.next.value) for h in nodes),
+            key=repr,
+        )
+        save_collections(
+            path, {"persons": persons, "every": every, "nodes": nodes}
+        )
+
+        loaded = load_collections(path, string_dict=use_dict)
+        got_every = sorted((
+            (
+                h.i8, h.i16, h.i32, h.i64, h.flag, h.ratio, h.price,
+                h.fine, h.day, h.code, h.memo,
+                None if h.friend is None else h.friend.name,
+            )
+            for h in loaded["every"]
+        ), key=repr)
+        got_nodes = sorted(
+            (
+                (h.value, None if h.next is None else h.next.value)
+                for h in loaded["nodes"]
+            ),
+            key=repr,
+        )
+        assert got_every == expected_every
+        assert got_nodes == expected_nodes
+        loaded["_manager"].close()
+    finally:
+        manager.close()
+        tmp.cleanup()
