@@ -1,0 +1,415 @@
+"""Read-scaling and catch-up benchmark for the replication fleet.
+
+Starts an in-process :class:`Fleet` (one writer, N WAL-shipping read
+replicas) over a freshly generated TPC-H dataset, keeps a background
+writer committing batches through the router, then measures three
+things:
+
+* **read scaling** — aggregate closed-loop read throughput through
+  :class:`RoutedClient` as the replica count grows (1, 2, 4), with the
+  same client count per point, so added replicas are the only variable;
+* **apply lag** — the distribution (p50/p99) of each replica's
+  ``lag_records`` watermark sampled over the wire via the ``lsn`` op
+  while the writer runs;
+* **catch-up** — time for a fresh replica to join (clone + tail replay)
+  as a function of the committed tail length accumulated before it
+  joins.
+
+Correctness gates (exit 1 on violation):
+
+* differential equality: every query in the mix returns byte-identical
+  results on the primary and on every replica as in-process, with the
+  writer churning a replicated scratch collection;
+* zero failed requests: reads may redirect on STALE_READ (counted),
+  but any other failure is fatal.
+
+Usage::
+
+    python benchmarks/bench_replication.py            # full sweep
+    python benchmarks/bench_replication.py --smoke    # CI-sized sweep
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import platform
+import sys
+import threading
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+QUERY_MIX = ["q1", "q6", "q3", "q12", "q14"]
+
+
+def _canonical(result):
+    return (tuple(result.columns), sorted(map(repr, result.rows)))
+
+
+def _percentile(sorted_values, q):
+    if not sorted_values:
+        return None
+    idx = min(len(sorted_values) - 1, int(q * len(sorted_values)))
+    return sorted_values[idx]
+
+
+class _ReadLoop(threading.Thread):
+    """One closed-loop reader through its own fleet router."""
+
+    def __init__(self, endpoints, duration, mix, bound, stop_event):
+        super().__init__(daemon=True)
+        self.endpoints = endpoints
+        self.duration = duration
+        self.mix = mix
+        self.bound = bound
+        self.stop_event = stop_event
+        self.completed = 0
+        self.redirects = 0
+        self.failed = 0
+        self.errors = []
+
+    def run(self):
+        from repro.service.client import RoutedClient, ServiceError
+
+        try:
+            router = RoutedClient(
+                self.endpoints, staleness_bound=self.bound, stale_wait=2.0
+            )
+        except Exception as exc:  # noqa: BLE001 - startup failure is fatal
+            self.failed += 1
+            self.errors.append(f"connect: {exc}")
+            return
+        deadline = time.monotonic() + self.duration
+        i = 0
+        try:
+            while (
+                time.monotonic() < deadline
+                and not self.stop_event.is_set()
+            ):
+                name = self.mix[i % len(self.mix)]
+                i += 1
+                try:
+                    router.query(name)
+                except (ServiceError, OSError) as exc:
+                    self.failed += 1
+                    self.errors.append(f"{name}: {exc}")
+                    continue
+                self.completed += 1
+            self.redirects = router.redirects
+        finally:
+            router.close()
+
+
+class _WriteLoop(threading.Thread):
+    """Background writer: replicated churn on a scratch collection."""
+
+    def __init__(self, endpoints, stop_event, pace=0.002):
+        super().__init__(daemon=True)
+        self.endpoints = endpoints
+        self.stop_event = stop_event
+        self.pace = pace
+        self.committed = 0
+        self.errors = []
+
+    def run(self):
+        from repro.service.client import RoutedClient
+
+        router = RoutedClient(self.endpoints)
+        i = 0
+        try:
+            while not self.stop_event.is_set():
+                try:
+                    entry = router.add(
+                        "scratch", text=f"churn-{i}", stars=i % 5
+                    )
+                    if i % 5 == 0:
+                        router.remove("scratch", entry)
+                    self.committed += 1
+                except Exception as exc:  # noqa: BLE001 - gated below
+                    self.errors.append(str(exc))
+                    if len(self.errors) > 10:
+                        return
+                i += 1
+                if self.pace:
+                    time.sleep(self.pace)
+        finally:
+            router.close()
+
+
+class _LagSampler(threading.Thread):
+    """Samples each replica's lag over the wire via the ``lsn`` op."""
+
+    def __init__(self, replica_endpoints, stop_event, period=0.02):
+        super().__init__(daemon=True)
+        self.replica_endpoints = replica_endpoints
+        self.stop_event = stop_event
+        self.period = period
+        self.samples = []
+
+    def run(self):
+        from repro.service.client import ServiceClient
+
+        clients = [
+            ServiceClient(host, port, open_session=False)
+            for host, port in self.replica_endpoints
+        ]
+        try:
+            while not self.stop_event.is_set():
+                for client in clients:
+                    try:
+                        reply = client.call({"op": "lsn"})
+                    except Exception:  # noqa: BLE001 - sampler best-effort
+                        continue
+                    self.samples.append(int(reply.get("lag_records", 0)))
+                time.sleep(self.period)
+        finally:
+            for client in clients:
+                try:
+                    client.close()
+                except Exception:
+                    pass
+
+
+def _build_fleet(root, data, replicas):
+    from repro.core.collection import Collection
+    from repro.service.fleet import Fleet
+    from repro.tpch.loader import load_smc
+    from tests.schemas import TNote
+
+    colls = load_smc(data)
+    colls["scratch"] = Collection(
+        TNote, manager=colls["_manager"], name="scratch"
+    )
+    return Fleet(
+        str(root),
+        collections=colls,
+        replicas=replicas,
+        fsync_policy="none",
+        poll_wait=0.05,
+        max_concurrency=8,
+    ).start()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="CI-sized run")
+    parser.add_argument("--sf", type=float, default=None)
+    parser.add_argument("--duration", type=float, default=None)
+    parser.add_argument(
+        "--replicas", type=int, nargs="*", default=None,
+        help="replica counts for the read-scaling sweep",
+    )
+    parser.add_argument("--clients", type=int, default=8)
+    parser.add_argument(
+        "--out", default=str(REPO_ROOT / "BENCH_replication.json")
+    )
+    parser.add_argument(
+        "--no-json", action="store_true", help="skip writing the JSON payload"
+    )
+    args = parser.parse_args(argv)
+
+    import tempfile
+
+    sys.path.insert(0, str(REPO_ROOT))  # tests.schemas for the scratch rows
+
+    from repro.bench.harness import bench_scale_factor, write_json_atomic
+    from repro.service.client import ServiceClient
+    from repro.tpch.datagen import generate
+    from repro.tpch.loader import load_smc
+    from repro.tpch.queries import DEFAULT_PARAMS, EXTRA_QUERIES, QUERIES
+
+    if args.smoke:
+        sf = args.sf or 0.002
+        duration = args.duration or 1.5
+        replica_counts = args.replicas or [1, 2]
+        tail_points = [100, 300]
+    else:
+        sf = args.sf or bench_scale_factor(0.01)
+        duration = args.duration or 5.0
+        replica_counts = args.replicas or [1, 2, 4]
+        tail_points = [200, 800, 2000]
+
+    print(f"generating TPC-H SF={sf} ...")
+    data = generate(sf, seed=42)
+
+    baseline_colls = load_smc(data)
+    plain = {
+        k: v for k, v in baseline_colls.items() if not k.startswith("_")
+    }
+    builders = dict(QUERIES)
+    builders.update(EXTRA_QUERIES)
+    baselines = {
+        name: _canonical(
+            builders[name](plain).run(
+                engine="compiled", params=DEFAULT_PARAMS
+            )
+        )
+        for name in QUERY_MIX
+    }
+    baseline_colls["_manager"].close()
+
+    tmp = tempfile.TemporaryDirectory(prefix="bench-repl-")
+    mismatches = 0
+    total_failed = 0
+    scaling_records = []
+    lag_records = []
+
+    # -- read scaling + apply lag + differential gate -------------------
+    for nreplicas in replica_counts:
+        fleet = _build_fleet(
+            Path(tmp.name) / f"fleet-{nreplicas}", data, nreplicas
+        )
+        try:
+            fleet.wait_caught_up()
+            stop_event = threading.Event()
+            writer = _WriteLoop(fleet.endpoints(), stop_event)
+            writer.start()
+            sampler = _LagSampler(
+                [n.endpoint for n in fleet.nodes if n is not fleet.primary],
+                stop_event,
+            )
+            sampler.start()
+
+            # Differential gate under replicated churn, on every node.
+            for node in fleet.nodes:
+                with ServiceClient(port=node.port) as probe:
+                    for name in QUERY_MIX:
+                        remote = probe.query(name)
+                        if _canonical(remote) != baselines[name]:
+                            mismatches += 1
+                            print(
+                                f"MISMATCH {name} on {node.name}",
+                                file=sys.stderr,
+                            )
+
+            loops = [
+                _ReadLoop(
+                    fleet.endpoints(), duration, QUERY_MIX, 64, stop_event
+                )
+                for __ in range(args.clients)
+            ]
+            start = time.monotonic()
+            for loop in loops:
+                loop.start()
+            for loop in loops:
+                loop.join(timeout=duration + 30)
+            elapsed = time.monotonic() - start
+            stop_event.set()
+            writer.join(timeout=10)
+            sampler.join(timeout=10)
+
+            completed = sum(loop.completed for loop in loops)
+            failed = sum(loop.failed for loop in loops) + len(writer.errors)
+            total_failed += failed
+            for loop in loops:
+                for err in loop.errors[:3]:
+                    print(f"  error: {err}", file=sys.stderr)
+            for err in writer.errors[:3]:
+                print(f"  writer error: {err}", file=sys.stderr)
+            throughput = completed / elapsed if elapsed > 0 else 0.0
+            lags = sorted(sampler.samples)
+            record = {
+                "replicas": nreplicas,
+                "clients": args.clients,
+                "duration_s": round(elapsed, 3),
+                "completed": completed,
+                "failed": failed,
+                "redirects": sum(loop.redirects for loop in loops),
+                "throughput_qps": round(throughput, 2),
+                "writer_commits": writer.committed,
+            }
+            scaling_records.append(record)
+            lag_records.append(
+                {
+                    "replicas": nreplicas,
+                    "samples": len(lags),
+                    "lag_p50_records": _percentile(lags, 0.50),
+                    "lag_p99_records": _percentile(lags, 0.99),
+                    "lag_max_records": lags[-1] if lags else None,
+                }
+            )
+            print(
+                f"replicas={nreplicas}  qps={throughput:8.1f}  "
+                f"writer_commits={writer.committed}  "
+                f"lag p50/p99={_percentile(lags, 0.5)}/"
+                f"{_percentile(lags, 0.99)} records  failed={failed}"
+            )
+        finally:
+            fleet.close()
+
+    # -- catch-up time vs accumulated tail length -----------------------
+    catchup_records = []
+    for tail in tail_points:
+        fleet = _build_fleet(Path(tmp.name) / f"catchup-{tail}", data, 0)
+        try:
+            with fleet.client() as router:
+                for i in range(tail):
+                    router.add("scratch", text=f"tail-{i}", stars=i % 5)
+            start = time.perf_counter()
+            node = fleet.add_replica()
+            dt = time.perf_counter() - start
+            applied = node.replication.applied_lsn
+            committed = fleet.primary.store.committed_lsn
+            if applied < committed:
+                total_failed += 1
+                print(
+                    f"catch-up stopped short: {applied} < {committed}",
+                    file=sys.stderr,
+                )
+            catchup_records.append(
+                {
+                    "tail_batches": tail,
+                    "catchup_s": round(dt, 4),
+                    "applied_lsn": applied,
+                }
+            )
+            print(f"tail={tail:>5} batches  catch-up={dt * 1000:8.1f}ms")
+        finally:
+            fleet.close()
+    tmp.cleanup()
+
+    if not args.no_json:
+        payload = {
+            "bench": "replication",
+            "scale_factor": sf,
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "cpus": os.cpu_count(),
+            "duration_per_point_s": duration,
+            "query_mix": QUERY_MIX,
+            "differential_mismatches": mismatches,
+            "notes": (
+                "One writer + N WAL-shipping read replicas in one "
+                "process; readers are closed loops through RoutedClient "
+                "(bounded staleness, redirect on STALE_READ), the writer "
+                "churns a replicated scratch collection, and lag is the "
+                "replicas' lag_records watermark sampled via the lsn op. "
+                "Catch-up is clone + tail replay time for a fresh "
+                "replica joining after `tail_batches` committed batches."
+            ),
+            "read_scaling": scaling_records,
+            "apply_lag": lag_records,
+            "catchup": catchup_records,
+        }
+        write_json_atomic(args.out, payload)
+        print(f"wrote {args.out}")
+
+    if mismatches:
+        print(
+            f"{mismatches} quer(ies) diverged across the fleet",
+            file=sys.stderr,
+        )
+        return 1
+    if total_failed:
+        print(f"{total_failed} request(s) failed", file=sys.stderr)
+        return 1
+    print("fleet answers matched in-process results on every node")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

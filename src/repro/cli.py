@@ -138,7 +138,43 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service.server import QueryService, ServiceServer
 
     store = None
-    if args.data_dir:
+    replication = None
+    if args.replica_of:
+        from repro.durability.replication import ReplicationClient
+
+        if not args.data_dir:
+            print("--replica-of requires --data-dir", file=sys.stderr)
+            return 2
+        if args.snapshot:
+            print(
+                "--replica-of clones the primary; drop the snapshot argument",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            phost, __, pport = args.replica_of.rpartition(":")
+            replication = ReplicationClient(
+                phost or "127.0.0.1",
+                int(pport),
+                args.data_dir,
+                fsync_policy=args.fsync,
+            )
+        except ValueError:
+            print(
+                f"--replica-of wants HOST:PORT, got {args.replica_of!r}",
+                file=sys.stderr,
+            )
+            return 2
+        store = replication.sync()
+        print(
+            f"replica of {args.replica_of} caught up at "
+            f"LSN {replication.applied_lsn}"
+        )
+        collections = dict(store.collections)
+        collections["_manager"] = store.manager
+        manager = store.manager
+        source = args.data_dir
+    elif args.data_dir:
         from repro.durability import DurableStore, RecoveryError
         from repro.durability.checkpoint import DataDir
 
@@ -193,16 +229,20 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_concurrency=args.max_concurrency,
         queue_depth=args.queue_depth,
         store=store,
+        replication=replication,
     )
     if args.churn:
         service.start_churn()
     server = ServiceServer(service, host=args.host, port=args.port).start()
+    if replication is not None:
+        replication.start()
     print(
         f"serving {source} on {server.host}:{server.port} "
         f"(max_concurrency={args.max_concurrency}, "
         f"queue_depth={args.queue_depth}, lease_ttl={args.lease_ttl}s"
         + (", churn on" if args.churn else "")
-        + (", durable" if store is not None else "")
+        + (f", replica of {args.replica_of}" if replication else "")
+        + (", durable" if store is not None and not replication else "")
         + ")"
     )
     stop = threading.Event()
@@ -221,6 +261,45 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             # The durable store owns (and closed) the manager otherwise.
             manager.close()
     print("server stopped")
+    return 0
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    import signal
+
+    from repro.service.fleet import Fleet
+
+    fleet = Fleet(
+        args.data_root,
+        snapshot=args.snapshot,
+        replicas=args.replicas,
+        columnar=args.columnar,
+        string_dict=not args.no_dict,
+        fsync_policy=args.fsync,
+        host=args.host,
+    )
+    fleet.start()
+    for entry in fleet.status():
+        print(
+            f"{entry['name']:<12} {entry['role']:<8} {entry['endpoint']}"
+        )
+    print(
+        "route writes to the primary and reads anywhere "
+        "(RoutedClient does both)"
+    )
+    stop = threading.Event()
+
+    def _signal(signum, frame):  # noqa: ARG001 - signal signature
+        stop.set()
+
+    signal.signal(signal.SIGINT, _signal)
+    signal.signal(signal.SIGTERM, _signal)
+    try:
+        while not stop.is_set():
+            stop.wait(0.2)
+    finally:
+        fleet.close()
+    print("fleet stopped")
     return 0
 
 
@@ -453,7 +532,38 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="run a background mutator against a scratch collection",
     )
+    serve.add_argument(
+        "--replica-of",
+        metavar="HOST:PORT",
+        help="serve as a read replica of the given primary: clone its "
+        "checkpoint into --data-dir (or resume one), stream its "
+        "committed WAL tail, and refuse mutations with NOT_PRIMARY",
+    )
     serve.set_defaults(fn=_cmd_serve)
+
+    fleet_p = sub.add_parser(
+        "fleet",
+        help="serve one writer plus N read replicas in one process",
+    )
+    fleet_p.add_argument(
+        "snapshot",
+        nargs="?",
+        help="snapshot to seed the primary (optional when data-root "
+        "already holds an initialized primary/)",
+    )
+    fleet_p.add_argument(
+        "--data-root",
+        required=True,
+        help="directory tree for the fleet: primary/, replica-1/, ...",
+    )
+    fleet_p.add_argument("--replicas", type=int, default=2)
+    fleet_p.add_argument("--host", default="127.0.0.1")
+    fleet_p.add_argument(
+        "--fsync", choices=["always", "commit", "none"], default="commit"
+    )
+    fleet_p.add_argument("--columnar", action="store_true")
+    fleet_p.add_argument("--no-dict", action="store_true")
+    fleet_p.set_defaults(fn=_cmd_fleet)
 
     query = sub.add_parser("query", help="run a TPC-H query on a snapshot")
     query.add_argument("snapshot")

@@ -12,7 +12,10 @@ saved snapshot.  Three layers:
   atomically-replaced MANIFEST, and epoch-consistent SMCSNAP1
   checkpoints that truncate the log;
 * :mod:`repro.durability.recovery` — checkpoint reload + committed
-  log-tail replay through the normal mutation paths.
+  log-tail replay through the normal mutation paths;
+* :mod:`repro.durability.replication` — WAL shipping: a primary streams
+  its committed tail to read replicas, which replay it continuously
+  through the same recovery apply path (``docs/replication.md``).
 
 :class:`~repro.durability.store.DurableStore` is the façade most code
 uses (and what ``repro serve --data-dir`` runs on).  See
@@ -25,7 +28,13 @@ from repro.durability.checkpoint import (
     DataDirError,
     MANIFEST_NAME,
 )
-from repro.durability.recovery import RecoveryReport, recover
+from repro.durability.recovery import RecoveryReport, apply_record, recover
+from repro.durability.replication import (
+    ReplicationClient,
+    ReplicationError,
+    StalePromotionError,
+    bootstrap_from_resync,
+)
 from repro.durability.store import DurableStore, MutationError
 from repro.durability.wal import (
     RecoveryError,
@@ -44,9 +53,14 @@ __all__ = [
     "MutationError",
     "RecoveryError",
     "RecoveryReport",
+    "ReplicationClient",
+    "ReplicationError",
+    "StalePromotionError",
     "WalCorruptionError",
     "WalRecord",
     "WriteAheadLog",
+    "apply_record",
+    "bootstrap_from_resync",
     "recover",
     "scan_wal",
 ]

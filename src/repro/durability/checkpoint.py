@@ -143,13 +143,19 @@ class CheckpointManager:
         self.last_duration = 0.0
         self.last_rows = 0
 
-    def checkpoint(self, wal: WriteAheadLog):
+    def checkpoint(self, wal: WriteAheadLog, translate_entries=None):
         """Snapshot the collections and start a fresh segment.
 
         Must be called with ``wal.hold()`` held.  Returns
         ``(manifest, new_wal)``; the caller swaps its active log.  On any
         failure before the manifest rename the old manifest/log pair
         stays fully authoritative.
+
+        ``translate_entries`` (replication) maps the snapshot's local
+        indirection-entry lists into another node's id space before they
+        are recorded in the manifest: a read replica checkpoints with the
+        *primary's* entry ids so the shipped log records keep resolving
+        after the replica restarts from its own checkpoint.
         """
         from repro.io.snapshot import save_collections
 
@@ -166,6 +172,8 @@ class CheckpointManager:
             self.last_rows = save_collections(
                 tmp, self.collections, fsync=True, entry_lists=entries
             )
+            if translate_entries is not None:
+                entries = translate_entries(entries)
             if _san.SANITIZER is not None:
                 _san.SANITIZER.event("checkpoint.snapshot_rename", path=tmp)
             os.replace(tmp, final)

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import os
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
 from repro.durability.checkpoint import DataDir
@@ -59,6 +59,11 @@ class RecoveryReport:
     committed_offset: int
     next_lsn: int
     duration: float
+    #: ``old entry id -> live handle`` map as of the end of replay.
+    #: Replication keeps applying shipped records through it.
+    entry_map: Dict[int, Any] = field(default_factory=dict, repr=False)
+    #: Log-local string-id table as of the end of replay.
+    strings: Dict[int, str] = field(default_factory=dict, repr=False)
 
     def summary(self) -> str:
         return (
@@ -155,7 +160,7 @@ def recover(
             strings[int(rec.payload["i"])] = rec.payload["t"]
             interned += 1
             continue
-        _apply(collections, mgr, entry_map, strings, rec)
+        apply_record(collections, mgr, entry_map, strings, rec)
         replayed += 1
 
     report = RecoveryReport(
@@ -172,12 +177,19 @@ def recover(
         committed_offset=scan.committed_offset,
         next_lsn=scan.next_lsn,
         duration=time.perf_counter() - start,
+        entry_map=entry_map,
+        strings=strings,
     )
     return collections, report
 
 
-def _apply(collections, mgr, entry_map, strings, rec: WalRecord) -> None:
-    """Re-execute one mutation record against the reloaded collections."""
+def apply_record(collections, mgr, entry_map, strings, rec: WalRecord) -> None:
+    """Re-execute one mutation record against the reloaded collections.
+
+    This is the single apply path shared by crash recovery and live
+    replication: a read replica feeds every shipped record through here
+    so its in-memory state is rebuilt exactly the way a restart would.
+    """
     payload = rec.payload
     name = payload["c"]
     coll = collections.get(name)

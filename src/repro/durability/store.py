@@ -23,6 +23,7 @@ log segment.
 
 from __future__ import annotations
 
+import os
 from typing import Any, Dict, List, Optional
 
 from repro.durability.checkpoint import CheckpointManager, DataDir, DataDirError
@@ -164,6 +165,29 @@ class DurableStore:
             if strdict is not None:
                 strdict.on_bind = self._on_strdict_bind
 
+    def attach_mutation_hooks(self) -> None:
+        """(Re)install this store as every collection's mutation log.
+
+        A promoted replica calls this: while following it must not log
+        its own records (the shipped frames already are the log), but
+        once promoted its local mutations become authoritative.
+        """
+        self._attach()
+
+    def detach_mutation_hooks(self) -> None:
+        """Stop logging local mutations (read-replica mode).
+
+        The store stays open — the WAL keeps receiving *shipped* frames
+        via ``append_shipped`` — but ``add``/``remove``/``setattr`` on
+        the collections no longer append records of their own.
+        """
+        for coll in self.collections.values():
+            if getattr(coll, "mutation_log", None) is self:
+                coll.mutation_log = None
+            strdict = getattr(coll, "strdict", None)
+            if strdict is not None and strdict.on_bind == self._on_strdict_bind:
+                strdict.on_bind = None
+
     def _name_of(self, collection) -> str:
         return self._names.get(id(collection), collection.name)
 
@@ -176,6 +200,56 @@ class DurableStore:
     @property
     def wal(self) -> WriteAheadLog:
         return self._wal
+
+    @property
+    def cut_lsn(self) -> int:
+        """LSN of the latest checkpoint cut (active segment start - 1)."""
+        return self._wal.start_lsn - 1
+
+    @property
+    def committed_lsn(self) -> int:
+        """Last committed (shippable) LSN of the active segment."""
+        return self._wal.committed_lsn
+
+    # -- replication: shipping the committed tail ------------------------
+
+    def read_tail(self, after_lsn: int, max_bytes: int = 4 * 1024 * 1024):
+        """Committed records after *after_lsn*, or ``None`` for resync.
+
+        ``None`` means *after_lsn* predates the active segment: the
+        intervening records were folded into a checkpoint and their
+        segment swept, so a follower at that position must re-bootstrap
+        from :meth:`resync_payload`.
+        """
+        return self._wal.read_tail(after_lsn, max_bytes=max_bytes)
+
+    def resync_payload(self) -> Dict[str, Any]:
+        """The current checkpoint + manifest, packaged for a follower.
+
+        Read under the WAL lock so no checkpoint can swap the manifest
+        mid-read; a sweep by a *second* checkpoint racing the file read
+        is retried (the next attempt sees the newer manifest).
+        """
+        import base64
+
+        last_exc: Optional[BaseException] = None
+        for _ in range(3):
+            with self._wal.hold():
+                manifest = self.datadir.read_manifest()
+                path = os.path.join(self.datadir.root, manifest["checkpoint"])
+                try:
+                    with open(path, "rb") as fh:
+                        snap = fh.read()
+                except FileNotFoundError as exc:  # pragma: no cover - race
+                    last_exc = exc
+                    continue
+            return {
+                "manifest": manifest,
+                "snapshot_b64": base64.b64encode(snap).decode("ascii"),
+            }
+        raise SmcError(
+            f"checkpoint file kept disappearing under resync: {last_exc}"
+        )  # pragma: no cover - requires three back-to-back checkpoints
 
     def log_add(self, collection, entry: int, values: Dict[str, Any]) -> int:
         payload_values = {
@@ -363,11 +437,18 @@ class DurableStore:
 
     # -- checkpoints ----------------------------------------------------
 
-    def checkpoint(self) -> Dict[str, Any]:
-        """Write a checkpoint, roll the log, sweep superseded files."""
+    def checkpoint(self, translate_entries=None) -> Dict[str, Any]:
+        """Write a checkpoint, roll the log, sweep superseded files.
+
+        ``translate_entries`` is forwarded to the checkpoint manager; a
+        read replica uses it to record the primary's entry ids in its
+        manifest (see ``CheckpointManager.checkpoint``).
+        """
         with self._wal.hold():
             old = self._wal
-            manifest, new_wal = self._ckpt.checkpoint(old)
+            manifest, new_wal = self._ckpt.checkpoint(
+                old, translate_entries=translate_entries
+            )
             self._closed_records += old.records
             self._closed_bytes += old.bytes_written
             self._closed_fsyncs += old.fsyncs
@@ -418,12 +499,7 @@ class DurableStore:
         self._closed = True
         if checkpoint:
             self.checkpoint()
-        for coll in self.collections.values():
-            if getattr(coll, "mutation_log", None) is self:
-                coll.mutation_log = None
-            strdict = getattr(coll, "strdict", None)
-            if strdict is not None and strdict.on_bind == self._on_strdict_bind:
-                strdict.on_bind = None
+        self.detach_mutation_hooks()
         self._wal.close()
         if self._owns_manager:
             self.manager.close()

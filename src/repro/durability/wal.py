@@ -256,6 +256,7 @@ class WriteAheadLog:
         *,
         next_lsn: int,
         offset: int,
+        start_lsn: int,
         fsync_policy: str = "commit",
     ) -> None:
         if fsync_policy not in FSYNC_POLICIES:
@@ -269,6 +270,14 @@ class WriteAheadLog:
         self._next_lsn = next_lsn
         self._offset = offset
         self._synced_offset = offset
+        self.start_lsn = start_lsn
+        # Committed boundary: the last LSN (and its end offset) that is
+        # not inside an open batch.  Replication ships only up to here.
+        self._committed_lsn = next_lsn - 1
+        self._committed_offset = offset
+        # Tail-read cursors: lsn -> file offset of that record, one per
+        # follower position, so sequential polls avoid head rescans.
+        self._cursors: Dict[int, int] = {}
         self.fsync_policy = fsync_policy
         self._batch_depth = 0
         self._batch_seq = 0
@@ -302,6 +311,7 @@ class WriteAheadLog:
             fh,
             next_lsn=start_lsn,
             offset=FILE_HEADER_SIZE,
+            start_lsn=start_lsn,
             fsync_policy=fsync_policy,
         )
 
@@ -328,6 +338,7 @@ class WriteAheadLog:
             fh,
             next_lsn=scan.next_lsn,
             offset=scan.committed_offset,
+            start_lsn=scan.start_lsn,
             fsync_policy=fsync_policy,
         )
 
@@ -340,6 +351,11 @@ class WriteAheadLog:
     @property
     def last_lsn(self) -> int:
         return self._next_lsn - 1
+
+    @property
+    def committed_lsn(self) -> int:
+        """Last LSN outside any open batch (the shippable boundary)."""
+        return self._committed_lsn
 
     @property
     def size(self) -> int:
@@ -404,6 +420,11 @@ class WriteAheadLog:
             self._next_lsn = lsn + 1
             self.records += 1
             self.bytes_written += len(frame)
+            # COMMIT is appended after batch() drops the depth to zero,
+            # so "depth == 0 here" marks exactly the committed boundary.
+            if self._batch_depth == 0:
+                self._committed_lsn = lsn
+                self._committed_offset = self._offset
             if sync is None:
                 sync = self.fsync_policy == "always" or (
                     self.fsync_policy == "commit" and self._batch_depth == 0
@@ -446,6 +467,87 @@ class WriteAheadLog:
                     )
         finally:
             self._lock.release()
+
+    def append_shipped(
+        self, lsn: int, kind: int, payload: Dict[str, Any], sync: bool = False
+    ) -> int:
+        """Append a record shipped from a primary, keeping its LSN.
+
+        Replication is physical log shipping: a follower re-appends the
+        primary's committed records verbatim into its own segment, so
+        the two logs stay byte-identical.  The shipped LSN must be the
+        exact next LSN of this segment — a gap means the follower lost
+        its position and must resync.
+        """
+        with self._lock:
+            if not self._crashed and not self._dead and lsn != self._next_lsn:
+                raise SmcError(
+                    f"shipped record LSN {lsn} does not follow "
+                    f"{self.path} (next LSN is {self._next_lsn})"
+                )
+            return self.append(kind, payload, sync=sync)
+
+    def read_tail(
+        self, after_lsn: int, max_bytes: int = 4 * 1024 * 1024
+    ) -> Optional[List[WalRecord]]:
+        """Committed records with LSN > *after_lsn*, for shipping.
+
+        Returns ``None`` when *after_lsn* predates this segment (the
+        records live in a swept-away older segment — the follower must
+        resync from the checkpoint).  The result always ends at a batch
+        boundary: ``max_bytes`` is a soft cap that only cuts between
+        batches, and at least one batch is returned when any is pending,
+        so a batch larger than the cap cannot stall a follower.
+        """
+        with self._lock:
+            if self._dead or self._crashed:
+                raise SmcError(f"write-ahead log {self.path} is not readable")
+            if after_lsn < self.start_lsn - 1:
+                return None
+            committed = self._committed_lsn
+            if after_lsn >= committed:
+                return []
+            start = self._cursors.get(after_lsn + 1)
+            if start is None:
+                start = FILE_HEADER_SIZE
+            end_offset = self._committed_offset
+            with open(self.path, "rb") as fh:
+                fh.seek(start)
+                data = fh.read(end_offset - start)
+        records: List[WalRecord] = []
+        pos = 0
+        emitted_start: Optional[int] = None
+        depth = 0
+        while pos < len(data):
+            _, length, lsn, kind = _RECORD_HEADER.unpack_from(data, pos)
+            end = pos + RECORD_HEADER_SIZE + length
+            if lsn > after_lsn:
+                payload = json.loads(
+                    data[pos + RECORD_HEADER_SIZE : end].decode("utf-8")
+                )
+                records.append(
+                    WalRecord(lsn, kind, payload, start + pos, start + end)
+                )
+                if emitted_start is None:
+                    emitted_start = pos
+                if kind == BEGIN:
+                    depth = 1
+                elif kind == COMMIT:
+                    depth = 0
+            pos = end
+            if (
+                records
+                and depth == 0
+                and pos - (emitted_start or 0) >= max_bytes
+            ):
+                break
+        if records:
+            with self._lock:
+                self._cursors[records[-1].lsn + 1] = records[-1].end_offset
+                self._cursors.pop(after_lsn + 1, None)
+                while len(self._cursors) > 16:
+                    self._cursors.pop(min(self._cursors))
+        return records
 
     def sync(self) -> None:
         """fsync the segment (fires the ``wal.fsync`` crash point first)."""

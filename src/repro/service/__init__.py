@@ -16,13 +16,29 @@ The service layer turns the query engines into a serving system:
 ``protocol``
     Length-prefixed JSON wire protocol with exact value round-trips.
 ``server`` / ``client``
-    Threaded TCP server (``repro serve``) and client library.
+    Threaded TCP server (``repro serve``) and client library, including
+    the fleet-aware :class:`RoutedClient` (writes to the primary, reads
+    across replicas with bounded staleness).
+``fleet``
+    One writer + N WAL-shipping read replicas in one process
+    (``repro fleet``), with promote-on-failure drills.
 
-See ``docs/service.md`` for the protocol and policies.
+See ``docs/service.md`` for the protocol and policies, and
+``docs/replication.md`` for the fleet.
 """
 
 from repro.service.admission import AdmissionController, OverloadedError
-from repro.service.client import ServiceClient
+from repro.service.client import (
+    LoopbackClient,
+    RoutedClient,
+    ServiceClient,
+    ServiceError,
+    ServiceNotPrimary,
+    ServiceOverloadedError,
+    ServiceSessionExpired,
+    ServiceStaleRead,
+)
+from repro.service.fleet import Fleet, FleetNode
 from repro.service.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.service.plancache import PlanCache
 from repro.service.server import QueryService, ServiceServer
@@ -31,14 +47,23 @@ from repro.service.session import Session, SessionRegistry
 __all__ = [
     "AdmissionController",
     "Counter",
+    "Fleet",
+    "FleetNode",
     "Gauge",
     "Histogram",
+    "LoopbackClient",
     "MetricsRegistry",
     "OverloadedError",
     "PlanCache",
     "QueryService",
+    "RoutedClient",
     "ServiceClient",
+    "ServiceError",
+    "ServiceNotPrimary",
+    "ServiceOverloadedError",
     "ServiceServer",
+    "ServiceSessionExpired",
+    "ServiceStaleRead",
     "Session",
     "SessionRegistry",
 ]

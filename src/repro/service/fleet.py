@@ -1,0 +1,332 @@
+"""One writer, N read replicas, in one process.
+
+A :class:`Fleet` wires the replication layer to the query service: it
+starts a primary :class:`~repro.service.server.QueryService` over a
+:class:`~repro.durability.DurableStore`, then attaches replicas that
+each clone the primary's checkpoint, stream its committed WAL tail
+through a :class:`~repro.durability.ReplicationClient`, and serve reads
+from their own store.  ``repro fleet`` runs one from the CLI; the
+differential and failover tests drive one directly.
+
+The fleet object is an orchestration convenience, not a consensus
+system: promotion is driven by :meth:`Fleet.failover`, which polls the
+surviving replicas' applied-LSN watermarks and promotes the freshest
+(passing that watermark as ``min_lsn`` so a lagging replica cannot
+win).  See ``docs/replication.md``.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.durability.replication import ReplicationClient
+from repro.durability.store import DEFAULT_CHECKPOINT_BYTES, DurableStore
+from repro.errors import SmcError
+from repro.service.client import RoutedClient
+from repro.service.server import DEFAULT_LEASE_TTL, QueryService, ServiceServer
+
+
+class FleetNode:
+    """One serving node: a store, its service, and the TCP server.
+
+    Replicas additionally carry the :class:`ReplicationClient` that
+    feeds their store; ``replication is None`` marks the seed primary.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        service: QueryService,
+        server: ServiceServer,
+        store: DurableStore,
+        replication: Optional[ReplicationClient] = None,
+    ) -> None:
+        self.name = name
+        self.service = service
+        self.server = server
+        self.store = store
+        self.replication = replication
+        self.alive = True
+
+    @property
+    def host(self) -> str:
+        return self.server.host
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    @property
+    def endpoint(self) -> Tuple[str, int]:
+        return (self.server.host, self.server.port)
+
+    @property
+    def role(self) -> str:
+        return self.service.role
+
+    def kill(self) -> None:
+        """Simulate process death: drop the listener, no clean teardown.
+
+        The store's WAL is marked crashed first so nothing else in this
+        process can append to it — the data directory is left exactly
+        as a killed process would leave it, for recovery or resync.
+        """
+        if not self.alive:
+            return
+        self.alive = False
+        if self.replication is not None:
+            self.replication.stop()
+        self.store.wal.mark_crashed()
+        self.server.stop(hard=True)
+
+    def close(self) -> None:
+        if not self.alive:
+            return
+        self.alive = False
+        self.server.stop()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<FleetNode {self.name} {self.role} @ {self.host}:{self.port}>"
+
+
+class Fleet:
+    """Primary + N replicas over one ``data_root`` directory tree.
+
+    Each node gets its own subdirectory (``primary/``, ``replica-1/``,
+    …).  Reopening an existing tree resumes the primary from its data
+    directory; replicas resume from theirs and catch up from the tail
+    (or resync when their segment is gone).
+    """
+
+    def __init__(
+        self,
+        data_root: str,
+        *,
+        collections: Optional[Dict[str, Any]] = None,
+        snapshot: Optional[str] = None,
+        replicas: int = 2,
+        columnar: bool = False,
+        string_dict: bool = True,
+        fsync_policy: str = "commit",
+        checkpoint_bytes: int = DEFAULT_CHECKPOINT_BYTES,
+        host: str = "127.0.0.1",
+        lease_ttl: float = DEFAULT_LEASE_TTL,
+        max_concurrency: int = 8,
+        queue_depth: int = 32,
+        poll_wait: float = 0.2,
+    ) -> None:
+        self.data_root = data_root
+        self._collections = collections
+        self._snapshot = snapshot
+        self._replica_count = replicas
+        self._columnar = columnar
+        self._string_dict = string_dict
+        self._fsync_policy = fsync_policy
+        self._checkpoint_bytes = checkpoint_bytes
+        self._host = host
+        self._lease_ttl = lease_ttl
+        self._max_concurrency = max_concurrency
+        self._queue_depth = queue_depth
+        self._poll_wait = poll_wait
+        self._seq = 0
+        self._lock = threading.Lock()
+        self.primary: Optional[FleetNode] = None
+        self.nodes: List[FleetNode] = []
+
+    # -- lifecycle -------------------------------------------------------
+
+    def start(self) -> "Fleet":
+        primary_dir = os.path.join(self.data_root, "primary")
+        if os.path.exists(os.path.join(primary_dir, "MANIFEST")):
+            store = DurableStore.open(
+                primary_dir,
+                fsync_policy=self._fsync_policy,
+                checkpoint_bytes=self._checkpoint_bytes,
+                columnar=self._columnar,
+                string_dict=self._string_dict,
+            )
+        else:
+            store = DurableStore.create(
+                primary_dir,
+                collections=self._collections,
+                snapshot=self._snapshot,
+                columnar=self._columnar,
+                string_dict=self._string_dict,
+                fsync_policy=self._fsync_policy,
+                checkpoint_bytes=self._checkpoint_bytes,
+            )
+        self.primary = self._serve("primary", store, replication=None)
+        self.nodes.append(self.primary)
+        for _ in range(self._replica_count):
+            self.add_replica()
+        return self
+
+    def _serve(
+        self,
+        name: str,
+        store: DurableStore,
+        replication: Optional[ReplicationClient],
+    ) -> FleetNode:
+        collections: Dict[str, Any] = dict(store.collections)
+        collections["_manager"] = store.manager
+        service = QueryService(
+            collections,
+            store.manager,
+            lease_ttl=self._lease_ttl,
+            max_concurrency=self._max_concurrency,
+            queue_depth=self._queue_depth,
+            store=store,
+            replication=replication,
+        )
+        server = ServiceServer(service, self._host, 0).start()
+        return FleetNode(name, service, server, store, replication)
+
+    def add_replica(self, name: Optional[str] = None) -> FleetNode:
+        """Join a new replica to the current primary and start serving.
+
+        The replica catches up (checkpoint + tail, or resync) before
+        its server comes up, so a freshly returned node is already at
+        the primary's committed LSN of a moment ago.
+        """
+        if self.primary is None or not self.primary.alive:
+            raise SmcError("fleet has no live primary to replicate from")
+        with self._lock:
+            self._seq += 1
+            name = name or f"replica-{self._seq}"
+        repl = ReplicationClient(
+            self.primary.host,
+            self.primary.port,
+            os.path.join(self.data_root, name),
+            fsync_policy=self._fsync_policy,
+            checkpoint_bytes=self._checkpoint_bytes,
+            poll_wait=self._poll_wait,
+            name=name,
+        )
+        store = repl.sync()
+        node = self._serve(name, store, replication=repl)
+        repl.start()
+        self.nodes.append(node)
+        return node
+
+    def restart_replica(self, node: FleetNode) -> FleetNode:
+        """Close (or bury) *node* and rejoin a replica on its data dir.
+
+        Exercises the catch-up-from-checkpoint+tail path: the new
+        replication client reopens the directory the old node left
+        behind and streams only what it is missing.
+        """
+        if node.replication is None:
+            raise SmcError("cannot restart the seed primary as a replica")
+        if node.alive:
+            node.close()
+        if node in self.nodes:
+            self.nodes.remove(node)
+        return self.add_replica(name=node.name)
+
+    def close(self) -> None:
+        for node in reversed(self.nodes):
+            try:
+                node.close()
+            except Exception:
+                pass
+        self.nodes = []
+        self.primary = None
+
+    def __enter__(self) -> "Fleet":
+        return self.start()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    # -- routing ---------------------------------------------------------
+
+    def endpoints(self) -> List[Tuple[str, int]]:
+        """Live endpoints, primary first — :class:`RoutedClient` input."""
+        ordered = sorted(
+            (n for n in self.nodes if n.alive),
+            key=lambda n: n is not self.primary,
+        )
+        return [n.endpoint for n in ordered]
+
+    def client(self, **kwargs: Any) -> RoutedClient:
+        return RoutedClient(self.endpoints(), **kwargs)
+
+    def wait_caught_up(self, timeout: float = 10.0) -> None:
+        """Block until every live replica reaches the primary's LSN."""
+        if self.primary is None or not self.primary.alive:
+            raise SmcError("fleet has no live primary")
+        target = self.primary.store.committed_lsn
+        for node in self.nodes:
+            if node is self.primary or not node.alive:
+                continue
+            repl = node.replication
+            if repl is not None and not repl.wait_for(target, timeout=timeout):
+                raise SmcError(
+                    f"{node.name} stuck at LSN {repl.applied_lsn}, "
+                    f"want {target}"
+                )
+
+    # -- failover --------------------------------------------------------
+
+    def kill_primary(self) -> FleetNode:
+        """Hard-kill the current primary (drill entry point)."""
+        if self.primary is None:
+            raise SmcError("fleet has no primary")
+        node = self.primary
+        node.kill()
+        return node
+
+    def failover(self, timeout: float = 10.0) -> FleetNode:
+        """Promote the freshest surviving replica to primary.
+
+        Reads every candidate's applied-LSN watermark, promotes the
+        maximum with ``min_lsn`` set to that maximum (so a stale
+        candidate racing us is refused), and retargets the remaining
+        replicas at the winner.  No committed-and-shipped batch is
+        lost: the winner has, by construction, everything any survivor
+        applied.
+        """
+        candidates = [
+            n
+            for n in self.nodes
+            if n.alive and n.replication is not None and not n.replication.promoted
+        ]
+        if not candidates:
+            raise SmcError("no surviving replica to promote")
+        watermarks = {n.name: n.replication.applied_lsn for n in candidates}
+        floor = max(watermarks.values())
+        winner = max(candidates, key=lambda n: n.replication.applied_lsn)
+        reply = winner.service.handle({"op": "promote", "min_lsn": floor})
+        if not reply.get("ok"):
+            raise SmcError(f"promotion failed: {reply!r}")
+        self.primary = winner
+        if self.primary in self.nodes:
+            self.nodes.remove(self.primary)
+            self.nodes.insert(0, self.primary)
+        for node in candidates:
+            if node is winner:
+                continue
+            node.replication.retarget(winner.host, winner.port)
+        return winner
+
+    def status(self) -> List[Dict[str, Any]]:
+        out = []
+        for node in self.nodes:
+            entry: Dict[str, Any] = {
+                "name": node.name,
+                "role": node.role if node.alive else "dead",
+                "endpoint": f"{node.host}:{node.port}",
+                "alive": node.alive,
+            }
+            if node.replication is not None and not node.replication.promoted:
+                entry.update(node.replication.status())
+            elif node.alive:
+                entry["committed_lsn"] = node.store.committed_lsn
+            out.append(entry)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover
+        live = sum(1 for n in self.nodes if n.alive)
+        return f"<Fleet {live}/{len(self.nodes)} nodes at {self.data_root!r}>"

@@ -17,6 +17,16 @@ Error taxonomy (the ``error`` field of a ``{"ok": false}`` response):
     session.
 ``BAD_REQUEST``
     Unknown op/query or malformed arguments.
+``NOT_PRIMARY``
+    A ``mutate`` sent to a read replica; the client must route writes
+    to the primary (the response names the replica's current source).
+``STALE_READ``
+    A ``query`` carried ``min_lsn`` and the replica's applied watermark
+    did not reach it within ``wait`` seconds; the response reports
+    ``applied_lsn`` so the router can redirect.
+``STALE_PROMOTION``
+    A ``promote`` named a ``min_lsn`` ahead of this replica's watermark
+    — a fresher replica exists and must be promoted instead.
 ``INTERNAL``
     Unexpected exception during execution (with a detail string).
 """
@@ -29,6 +39,7 @@ import threading
 import time
 from typing import Any, Dict, List, Optional
 
+from repro.durability.replication import StalePromotionError
 from repro.schema import Int64Field, Tabular, VarStringField
 from repro.service import protocol
 from repro.service.admission import AdmissionController, OverloadedError
@@ -37,6 +48,7 @@ from repro.service.metrics import (
     engine_snapshot,
     instrument_durability,
     instrument_manager,
+    instrument_replication,
 )
 from repro.service.plancache import PlanCache
 from repro.service.session import (
@@ -125,6 +137,7 @@ class QueryService:
         class_timeouts: Optional[Dict[str, float]] = None,
         metrics: Optional[MetricsRegistry] = None,
         store=None,
+        replication=None,
     ) -> None:
         self.collections = {
             k: v for k, v in collections.items() if not k.startswith("_")
@@ -137,11 +150,26 @@ class QueryService:
         #: changes through the write-ahead log (one group commit per
         #: request) and ``close`` checkpoints and closes the store.
         self.store = store
+        #: Optional :class:`~repro.durability.ReplicationClient` when
+        #: this node serves as a read replica.  Until it is promoted,
+        #: ``mutate`` is refused with NOT_PRIMARY and ``query`` enforces
+        #: bounded staleness against its applied-LSN watermark.
+        self.replication = replication
         self.metrics = metrics or MetricsRegistry()
         instrument_manager(self.metrics, self.manager)
         engine_snapshot(self.metrics)
         if store is not None:
             instrument_durability(self.metrics, store)
+        if replication is not None:
+            instrument_replication(self.metrics, replication)
+        self._ship_requests = self.metrics.counter(
+            "smc_repl_ship_requests_total",
+            "Replicate polls served, by kind (tail/resync)",
+        )
+        self._ship_records = self.metrics.counter(
+            "smc_repl_ship_records_total",
+            "WAL records shipped to followers",
+        )
         self.sessions = SessionRegistry(
             self.manager, lease_ttl=lease_ttl, metrics=self.metrics
         )
@@ -159,6 +187,22 @@ class QueryService:
             "service_request_seconds", "Request handling latency, by op"
         )
         self.churn: Optional[ChurnMutator] = None
+
+    # -- fleet role ----------------------------------------------------
+
+    @property
+    def role(self) -> str:
+        if self.replication is not None and not self.replication.promoted:
+            return "replica"
+        return "primary"
+
+    def _current_lsn(self) -> int:
+        """The LSN a response is consistent with (stamped on replies)."""
+        if self.role == "replica":
+            return self.replication.applied_lsn
+        if self.store is not None:
+            return self.store.committed_lsn
+        return 0
 
     # -- layout/encoding fingerprint for plan-cache keys ---------------
 
@@ -199,6 +243,12 @@ class QueryService:
                 response = self._op_query(message)
             elif op == "mutate":
                 response = self._op_mutate(message)
+            elif op == "replicate":
+                response = self._op_replicate(message)
+            elif op == "lsn":
+                response = self._op_lsn(message)
+            elif op == "promote":
+                response = self._op_promote(message)
             elif op == "metrics":
                 response = {"ok": True, "text": self.metrics.expose()}
             elif op == "info":
@@ -227,6 +277,14 @@ class QueryService:
                 "ok": False,
                 "error": "LEASE_EXPIRED",
                 "detail": str(exc),
+            }
+        except StalePromotionError as exc:
+            response = {
+                "ok": False,
+                "error": "STALE_PROMOTION",
+                "detail": str(exc),
+                "applied_lsn": exc.applied_lsn,
+                "min_lsn": exc.min_lsn,
             }
         except Exception as exc:  # noqa: BLE001 - wire boundary
             response = {
@@ -285,6 +343,32 @@ class QueryService:
             session = self.sessions.require(str(session_id))
             session.touch()
 
+        # Bounded staleness: the router names the LSN floor this read
+        # must reflect; a replica waits for its watermark (wait-or-
+        # redirect), the primary is stale only after a lossy failover.
+        min_lsn = message.get("min_lsn")
+        if min_lsn is not None:
+            min_lsn = int(min_lsn)
+            wait = float(message.get("wait", 2.0))
+            if self.role == "replica":
+                if not self.replication.wait_for(min_lsn, timeout=wait):
+                    return {
+                        "ok": False,
+                        "error": "STALE_READ",
+                        "applied_lsn": self.replication.applied_lsn,
+                        "min_lsn": min_lsn,
+                    }
+            elif self._current_lsn() < min_lsn:
+                return {
+                    "ok": False,
+                    "error": "STALE_READ",
+                    "applied_lsn": self._current_lsn(),
+                    "min_lsn": min_lsn,
+                }
+
+        # Stamp the watermark *before* execution: the data read is
+        # guaranteed to reflect at least this LSN, never less.
+        lsn_at_start = self._current_lsn()
         engine_key = f"{engine}:{flavor or ''}:w{workers}:p{int(prune)}"
         key = PlanCache.key_for(
             str(name), self._layout(), self._encoding(), engine_key
@@ -317,6 +401,7 @@ class QueryService:
             "columns": list(result.columns),
             "rows": protocol.encode_rows(result.rows),
             "elapsed_ms": elapsed_ms,
+            "lsn": lsn_at_start,
         }
 
     def _op_mutate(self, message: Dict[str, Any]) -> Dict[str, Any]:
@@ -327,6 +412,14 @@ class QueryService:
                 "ok": False,
                 "error": "BAD_REQUEST",
                 "detail": "server is not running with a data directory",
+            }
+        if self.role != "primary":
+            return {
+                "ok": False,
+                "error": "NOT_PRIMARY",
+                "detail": "this node is a read replica; route writes "
+                "to the primary",
+                "primary": f"{self.replication.host}:{self.replication.port}",
             }
         ops = message.get("ops")
         session = None
@@ -355,14 +448,118 @@ class QueryService:
                     session.exit()
         finally:
             self.admission.release()
+        committed = self.store.committed_lsn
         self.store.maybe_checkpoint()
-        return {"ok": True, "results": results}
+        return {"ok": True, "results": results, "lsn": committed}
+
+    # -- replication ops -----------------------------------------------
+
+    def _op_replicate(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        """Ship the committed WAL tail (or a resync package) to a follower.
+
+        Long-polls up to ``wait`` seconds when the follower is caught
+        up.  Not admission-controlled: replication must keep flowing
+        even when the query queue is saturated, and a poll parked in
+        the queue would add its own latency to every replica's lag.
+        """
+        from repro.sanitizer import hooks as _san
+
+        if self.store is None:
+            return {
+                "ok": False,
+                "error": "BAD_REQUEST",
+                "detail": "server is not running with a data directory",
+            }
+        if self.role != "primary":
+            return {
+                "ok": False,
+                "error": "BAD_REQUEST",
+                "detail": "read replicas do not ship their log "
+                "(chained replication is not supported)",
+            }
+        if _san.SANITIZER is not None:
+            _san.SANITIZER.event("repl.ship", wal=self.store.wal)
+        if message.get("resync"):
+            self._ship_requests.inc(kind="resync")
+            return {
+                "ok": True,
+                "resync": self.store.resync_payload(),
+                "committed_lsn": self.store.committed_lsn,
+            }
+        after_lsn = int(message.get("after_lsn", 0))
+        wait = min(float(message.get("wait", 0.0)), 30.0)
+        max_bytes = int(message.get("max_bytes", 2 * 1024 * 1024))
+        deadline = time.monotonic() + wait
+        while True:
+            records = self.store.read_tail(after_lsn, max_bytes=max_bytes)
+            if records is None:
+                self._ship_requests.inc(kind="resync_required")
+                return {
+                    "ok": True,
+                    "resync_required": True,
+                    "segment_lsn": self.store.wal.start_lsn,
+                    "committed_lsn": self.store.committed_lsn,
+                }
+            if records or time.monotonic() >= deadline:
+                break
+            time.sleep(0.02)
+        self._ship_requests.inc(kind="tail")
+        self._ship_records.inc(len(records))
+        return {
+            "ok": True,
+            "records": [[r.lsn, r.kind, r.payload] for r in records],
+            "committed_lsn": self.store.committed_lsn,
+            "cut_lsn": self.store.cut_lsn,
+            "segment_lsn": self.store.wal.start_lsn,
+        }
+
+    def _op_lsn(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        """Role and watermark report (router discovery, failover choice)."""
+        del message
+        response: Dict[str, Any] = {"ok": True, "role": self.role}
+        if self.replication is not None:
+            response.update(self.replication.status())
+        else:
+            lsn = self.store.committed_lsn if self.store is not None else 0
+            response.update(
+                {
+                    "applied_lsn": lsn,
+                    "source_committed_lsn": lsn,
+                    "lag_records": 0,
+                    "primary_down": False,
+                    "needs_resync": False,
+                    "promoted": False,
+                }
+            )
+        if self.role == "primary":
+            response["committed_lsn"] = (
+                self.store.committed_lsn if self.store is not None else 0
+            )
+        return response
+
+    def _op_promote(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        if self.replication is None:
+            return {
+                "ok": False,
+                "error": "BAD_REQUEST",
+                "detail": "this node is not a replica",
+            }
+        min_lsn = message.get("min_lsn")
+        applied = self.replication.promote(
+            int(min_lsn) if min_lsn is not None else None
+        )
+        return {"ok": True, "role": self.role, "applied_lsn": applied}
 
     def close(self) -> None:
         self.stop_churn()
         self.sessions.close()
+        if self.replication is not None:
+            # Stop streaming before touching the store; an unpromoted
+            # replica must not cut an untranslated (local-id) checkpoint
+            # over a shipped-id log lineage.
+            self.replication.stop()
         if self.store is not None:
-            self.store.close(checkpoint=True)
+            self.store.close(checkpoint=(self.role == "primary"))
 
 
 class ServiceServer:
@@ -446,7 +643,14 @@ class ServiceServer:
             except OSError:
                 pass
 
-    def stop(self) -> None:
+    def stop(self, hard: bool = False) -> None:
+        """Stop serving; ``hard`` skips ``service.close()``.
+
+        A hard stop models process death for failover drills: the
+        listener and connections drop, but no clean teardown (final
+        checkpoint, session release) runs — exactly what a crashed
+        primary would leave behind.
+        """
         with self._lock:
             already_stopping = self._stop.is_set()
             self._stop.set()
@@ -478,7 +682,8 @@ class ServiceServer:
         for thread in threads:
             thread.join(timeout=5.0)
         try:
-            self.service.close()
+            if not hard:
+                self.service.close()
         finally:
             self._stopped.set()
 
