@@ -143,6 +143,12 @@ def main(argv=None):
         help="reduced matrix for CI: correctness gate only, no JSON output",
     )
     parser.add_argument(
+        "--workers",
+        default=None,
+        help="comma-separated worker counts to sweep, or 'auto' for "
+        "1 and os.cpu_count() (honest on single-core hosts)",
+    )
+    parser.add_argument(
         "--out", default=str(REPO_ROOT / "BENCH_parallel_scan.json")
     )
     args = parser.parse_args(argv)
@@ -155,10 +161,18 @@ def main(argv=None):
         sf = args.sf or float(os.environ.get("REPRO_BENCH_SF", 0.02))
         worker_counts = [1, 2, 4, 8]
         repeat = args.repeat
+    if args.workers:
+        if args.workers == "auto":
+            ncpu = os.cpu_count() or 1
+            worker_counts = sorted({1, ncpu})
+        else:
+            worker_counts = [int(w) for w in args.workers.split(",")]
 
     records, mismatches = run_sweep(sf, worker_counts, repeat, args.smoke)
 
     if not args.smoke:
+        from repro.bench.harness import write_json_atomic
+
         payload = {
             "bench": "parallel_scan",
             "scale_factor": sf,

@@ -132,6 +132,15 @@ def _recover_data_dir(data_dir: str):
         return None
 
 
+def _parse_workers(value: str) -> int:
+    """``--workers`` accepts a count or ``auto`` (= ``os.cpu_count()``)."""
+    import os
+
+    if value == "auto":
+        return os.cpu_count() or 1
+    return int(value)
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import signal
 
@@ -139,6 +148,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     store = None
     replication = None
+    exec_workers = _parse_workers(args.exec_workers or "0")
+    use_shm = args.shm or exec_workers > 0
+    if use_shm and (args.data_dir or args.replica_of):
+        # The durable store recovers onto its own heap-backed manager;
+        # shared-memory serving is snapshot-only for now.
+        print(
+            "--shm/--exec-workers serve a snapshot in memory and cannot "
+            "be combined with --data-dir or --replica-of",
+            file=sys.stderr,
+        )
+        return 2
     if args.replica_of:
         from repro.durability.replication import ReplicationClient
 
@@ -218,7 +238,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         from repro.io.snapshot import load_collections
 
         collections = load_collections(
-            args.snapshot, columnar=args.columnar, string_dict=not args.no_dict
+            args.snapshot,
+            columnar=args.columnar,
+            string_dict=not args.no_dict,
+            shm=use_shm,
         )
         manager = collections["_manager"]
         source = args.snapshot
@@ -230,6 +253,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         queue_depth=args.queue_depth,
         store=store,
         replication=replication,
+        exec_workers=exec_workers,
     )
     if args.churn:
         service.start_churn()
@@ -241,6 +265,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"(max_concurrency={args.max_concurrency}, "
         f"queue_depth={args.queue_depth}, lease_ttl={args.lease_ttl}s"
         + (", churn on" if args.churn else "")
+        + (f", exec_workers={exec_workers}" if exec_workers else "")
+        + (", shm" if use_shm else "")
         + (f", replica of {args.replica_of}" if replication else "")
         + (", durable" if store is not None and not replication else "")
         + ")"
@@ -533,6 +559,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="run a background mutator against a scratch collection",
     )
     serve.add_argument(
+        "--shm",
+        action="store_true",
+        help="back block buffers with named shared-memory segments "
+        "(/dev/shm), the prerequisite for --exec-workers",
+    )
+    serve.add_argument(
+        "--exec-workers",
+        metavar="N",
+        default=None,
+        help="route eligible parallel reads through N scan worker "
+        "processes attached to the shared block pool ('auto' = CPU "
+        "count; implies --shm)",
+    )
+    serve.add_argument(
         "--replica-of",
         metavar="HOST:PORT",
         help="serve as a read replica of the given primary: clone its "
@@ -576,9 +616,10 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--explain", action="store_true")
     query.add_argument(
         "--workers",
-        type=int,
+        type=_parse_workers,
         default=1,
-        help="morsel-parallel scan workers (vectorised engines only)",
+        help="morsel-parallel scan workers (vectorised engines only); "
+        "'auto' uses os.cpu_count()",
     )
     query.add_argument(
         "--no-prune",

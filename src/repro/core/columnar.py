@@ -24,6 +24,7 @@ from repro.errors import NullReferenceError, TabularTypeError
 from repro.memory import slots as slotcodec
 from repro.memory import zonemap as _zonemap
 from repro.memory.addressing import NULL_ADDRESS
+from repro.memory.block import BLOCK_HEADER_SIZE, KIND_COLUMNAR, _HEADER_STRUCT
 from repro.memory.context import MemoryContext
 from repro.memory.indirection import INC_MASK
 from repro.memory.manager import MemoryManager
@@ -74,6 +75,43 @@ def column_dtype(field: Field, dict_codes: bool = False) -> Union[np.dtype, str]
     raise TypeError(f"no column dtype for {type(field).__name__}")
 
 
+def columnar_offsets(
+    layout, dict_fields: frozenset, n: int
+) -> Tuple[List[Tuple[str, np.dtype, int]], int, int, int, int]:
+    """Byte layout of an *n*-slot columnar block buffer.
+
+    Returns ``(columns, dir_off, bp_off, inc_off, total)`` where *columns*
+    is ``[(name, dtype, offset)]`` in field order (ref fields contribute a
+    ``__w`` int64 and ``__i`` uint32 pair).  The function is purely
+    deterministic in ``(layout, dict_fields, n)`` so a worker process that
+    read ``n`` out of the block header recomputes the exact same offsets
+    and rebuilds its views over the attached segment.
+    """
+
+    def _align(off: int, a: int = 8) -> int:
+        return off + (-off % a)
+
+    cols: List[Tuple[str, np.dtype, int]] = []
+    off = BLOCK_HEADER_SIZE
+    for f in layout.fields:
+        if isinstance(f, RefField):
+            for suffix, dt in ((f.name + "__w", np.int64), (f.name + "__i", np.uint32)):
+                dt = np.dtype(dt)
+                off = _align(off)
+                cols.append((suffix, dt, off))
+                off += n * dt.itemsize
+        else:
+            dt = np.dtype(column_dtype(f, f.name in dict_fields))
+            off = _align(off)
+            cols.append((f.name, dt, off))
+            off += n * dt.itemsize
+    dir_off = _align(off)
+    bp_off = _align(dir_off + 4 * n)
+    inc_off = _align(bp_off + 8 * n)
+    total = inc_off + 4 * n
+    return cols, dir_off, bp_off, inc_off, total
+
+
 class ColumnarBlock:
     """A block whose object data lives in per-field column arrays."""
 
@@ -81,6 +119,8 @@ class ColumnarBlock:
         "space",
         "block_id",
         "base_address",
+        "segment",
+        "buf",
         "type_id",
         "context_id",
         "slot_size",
@@ -116,23 +156,42 @@ class ColumnarBlock:
         self.type_id = type_id
         self.context_id = context_id
         self.slot_size = layout.slot_size  # nominal, for memory accounting
-        # Same per-object budget as a row block of this type would have.
-        self.slot_count = max(
-            1, (space.block_size - 64) // (layout.slot_size + 4 + 8)
+        # Same per-object budget as a row block of this type would have,
+        # shrunk until all columns + metadata segments (with their 8-byte
+        # alignment padding) fit the fixed block size.
+        n = max(1, (space.block_size - BLOCK_HEADER_SIZE) // (layout.slot_size + 4 + 8))
+        spec = columnar_offsets(layout, dict_fields, n)
+        while spec[4] > space.block_size and n > 1:
+            n -= 1
+            spec = columnar_offsets(layout, dict_fields, n)
+        cols, dir_off, bp_off, inc_off, total = spec
+        if total > space.block_size:
+            raise ValueError(
+                f"columnar layout of {layout.slot_size}B objects does not "
+                f"fit a {space.block_size}-byte block"
+            )
+        self.slot_count = n
+        # All columns and metadata live in ONE flat buffer with a
+        # self-describing header, exactly like row blocks, so a worker
+        # process can attach the segment and recompute every view from
+        # (header, layout) alone.
+        self.segment = space.buffers.create(space.block_size)
+        self.buf = self.segment.buf
+        _HEADER_STRUCT.pack_into(
+            self.buf, 0, type_id, context_id, n, layout.slot_size, KIND_COLUMNAR
         )
-        n = self.slot_count
-        self.columns: Dict[str, np.ndarray] = {}
+        mv = memoryview(self.buf)
+        self.columns: Dict[str, np.ndarray] = {
+            name: np.frombuffer(mv, dtype=dt, count=n, offset=off)
+            for name, dt, off in cols
+        }
         for f in layout.fields:
             if isinstance(f, RefField):
-                self.columns[f.name + "__w"] = np.full(n, NULL_ADDRESS, np.int64)
-                self.columns[f.name + "__i"] = np.zeros(n, np.uint32)
-            else:
-                self.columns[f.name] = np.zeros(
-                    n, dtype=column_dtype(f, f.name in dict_fields)
-                )
-        self.directory = np.zeros(n, dtype=np.uint32)
-        self.backptrs = np.full(n, -1, dtype=np.int64)
-        self.slot_incs = np.zeros(n, dtype=np.uint32)
+                self.columns[f.name + "__w"].fill(NULL_ADDRESS)
+        self.directory = np.frombuffer(mv, dtype=np.uint32, count=n, offset=dir_off)
+        self.backptrs = np.frombuffer(mv, dtype=np.int64, count=n, offset=bp_off)
+        self.backptrs.fill(-1)
+        self.slot_incs = np.frombuffer(mv, dtype=np.uint32, count=n, offset=inc_off)
         self.valid_count = 0
         self.limbo_count = 0
         self.alloc_cursor = 0
@@ -216,6 +275,13 @@ class ColumnarBlock:
 
     def release(self) -> None:
         self.space.unregister(self.block_id)
+        # Views must die before the backing segment can be unmapped.
+        self.columns = None
+        self.directory = None
+        self.backptrs = None
+        self.slot_incs = None
+        self.buf = None
+        self.segment.release()
 
     def __repr__(self) -> str:  # pragma: no cover
         return (
@@ -352,6 +418,9 @@ class ColumnarCollection(Collection):
         context.block_factory = lambda: ColumnarBlock(
             mgr.space, layout, type_id, context.context_id, dict_fields
         )
+        #: Recorded so a worker attaching this context's blocks by segment
+        #: name can recompute the exact column offsets (columnar_offsets).
+        context.dict_fields = dict_fields
 
     # -- row construction --------------------------------------------------
 

@@ -195,6 +195,7 @@ def load_collections(
     manager: Optional[MemoryManager] = None,
     columnar: bool = False,
     string_dict: bool = True,
+    shm: bool = False,
 ) -> Dict[str, Any]:
     """Load a snapshot into fresh collections on *manager*.
 
@@ -202,10 +203,11 @@ def load_collections(
     resolved by name through the schema registry and validated against
     the stored field specification.  Snapshots store decoded text, so a
     file written with dictionary encoding on reloads fine with it off
-    (and vice versa); ``string_dict`` only shapes the fresh manager and
-    is ignored when an explicit *manager* is supplied.
+    (and vice versa); ``string_dict`` and ``shm`` (shared-memory block
+    buffers, for the process executor) only shape the fresh manager and
+    are ignored when an explicit *manager* is supplied.
     """
-    manager = manager or MemoryManager(string_dict=string_dict)
+    manager = manager or MemoryManager(string_dict=string_dict, shm=shm)
     factory = ColumnarCollection if columnar else Collection
     # Tabular classes are resolved by name: user-defined classes must be
     # imported before loading.  The built-in TPC-H schema registers here

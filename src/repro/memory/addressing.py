@@ -17,9 +17,10 @@ fields.
 from __future__ import annotations
 
 import threading
-from typing import Iterator, List, Optional
+from typing import Callable, Iterator, List, Optional
 
 from repro.errors import MemoryExhaustedError
+from repro.memory.shm import HeapBuffers
 
 #: log2 of the default block size; 1 << 16 = 64 KiB blocks.
 DEFAULT_BLOCK_SHIFT = 16
@@ -39,12 +40,25 @@ class AddressSpace:
     recovers a block header from a pointer.
     """
 
-    def __init__(self, block_shift: int = DEFAULT_BLOCK_SHIFT) -> None:
+    def __init__(
+        self,
+        block_shift: int = DEFAULT_BLOCK_SHIFT,
+        buffers: Optional[object] = None,
+    ) -> None:
         if block_shift < 8 or block_shift > 30:
             raise ValueError(f"block_shift must be in [8, 30], got {block_shift}")
         self.block_shift = block_shift
         self.block_size = 1 << block_shift
         self._offset_mask = self.block_size - 1
+        #: Buffer allocation policy (``repro.memory.shm``): HeapBuffers by
+        #: default; SharedBuffers when the space must be visible to worker
+        #: processes for scatter-gather execution.
+        self.buffers = buffers if buffers is not None else HeapBuffers()
+        #: Worker-side hook: ``attach_miss(block_id) -> Optional[block]``.
+        #: A forked worker resolving an address minted *after* the fork has
+        #: no Python object for the block; this hook lets it attach the
+        #: backing shared segment by name and adopt a read-only view.
+        self.attach_miss: Optional[Callable[[int], Optional[object]]] = None
         # Index 0 is reserved so that address 0 is never valid.
         self._blocks: List[Optional[object]] = [None]
         self._free_ids: List[int] = []
@@ -81,6 +95,18 @@ class AddressSpace:
             self._blocks[block_id] = None
             self._free_ids.append(block_id)
 
+    def adopt(self, block_id: int, block: object) -> None:
+        """Install an attached block under a specific id (worker side).
+
+        Unlike :meth:`register`, the id is dictated by the parent space the
+        worker is mirroring; the local table is grown as needed.  Never used
+        in the owning process.
+        """
+        with self._lock:
+            while len(self._blocks) <= block_id:
+                self._blocks.append(None)
+            self._blocks[block_id] = block
+
     # ------------------------------------------------------------------
     # Address arithmetic
     # ------------------------------------------------------------------
@@ -107,13 +133,23 @@ class AddressSpace:
         block_id = address >> self.block_shift
         if block_id <= 0:
             raise ValueError(f"address {address:#x} is not in a live block")
-        block = self._blocks[block_id]
+        block = (
+            self._blocks[block_id] if block_id < len(self._blocks) else None
+        )
+        if block is None and self.attach_miss is not None:
+            block = self.attach_miss(block_id)
         if block is None:
             raise ValueError(f"address {address:#x} is not in a live block")
         return block
 
     def block_by_id(self, block_id: int) -> object:
-        block = self._blocks[block_id]
+        block = (
+            self._blocks[block_id]
+            if 0 <= block_id < len(self._blocks)
+            else None
+        )
+        if block is None and self.attach_miss is not None and block_id > 0:
+            block = self.attach_miss(block_id)
         if block is None:
             raise ValueError(f"block id {block_id} is not live")
         return block
@@ -122,8 +158,13 @@ class AddressSpace:
         """Like :meth:`block_at` but returns ``None`` for dead addresses."""
         block_id = address >> self.block_shift
         if block_id <= 0 or block_id >= len(self._blocks):
+            if block_id > 0 and self.attach_miss is not None:
+                return self.attach_miss(block_id)
             return None
-        return self._blocks[block_id]
+        block = self._blocks[block_id]
+        if block is None and self.attach_miss is not None:
+            block = self.attach_miss(block_id)
+        return block
 
     # ------------------------------------------------------------------
     # Introspection

@@ -59,6 +59,7 @@ class Block:
         "space",
         "block_id",
         "base_address",
+        "segment",
         "buf",
         "type_id",
         "context_id",
@@ -104,7 +105,11 @@ class Block:
         self.space = space
         self.block_id = space.register(self)
         self.base_address = space.address_of(self.block_id)
-        self.buf = bytearray(space.block_size)
+        # The buffer comes from the space's allocation policy: a process
+        # heap bytearray by default, or a named shared-memory segment that
+        # worker processes can attach by name (repro.memory.shm).
+        self.segment = space.buffers.create(space.block_size)
+        self.buf = self.segment.buf
         self.type_id = type_id
         self.context_id = context_id
         self.slot_size = slot_size
@@ -274,8 +279,18 @@ class Block:
     # ------------------------------------------------------------------
 
     def release(self) -> None:
-        """Return this block's address range to the address space."""
+        """Return this block's address range and buffer to the space.
+
+        The NumPy views must be dropped *before* the segment is released:
+        a shared-memory mapping cannot be closed while views still export
+        its buffer.
+        """
         self.space.unregister(self.block_id)
+        self.directory = None
+        self.backptrs = None
+        self.slot_incs = None
+        self.buf = None
+        self.segment.release()
 
     def reset(self, type_id: int, context_id: int) -> None:
         """Reinitialise the block for reuse by a (possibly different) type.

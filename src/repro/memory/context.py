@@ -45,6 +45,10 @@ class MemoryContext:
         #: Slot layout of the hosted type (set by the owning collection);
         #: used by the vectorised query engine to build field views.
         self.layout = None
+        #: Varstring fields stored as dictionary codes (set by columnar
+        #: collections); part of the deterministic column-offset recipe a
+        #: worker process needs to attach this context's blocks.
+        self.dict_fields = frozenset()
         #: Blocks whose owner thread abandoned them (exhausted); candidates
         #: for the reclamation queue as their limbo fraction grows.
         self.live_count = 0

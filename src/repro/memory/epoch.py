@@ -122,6 +122,11 @@ class EpochManager:
         #: Synthetic context keys for leases; negative so they can never
         #: collide with a real thread ident.
         self._next_lease_key = -1
+        #: External reader-section sources (cross-process executors).  Each
+        #: is a zero-argument callable yielding ``(in_critical, epoch)``
+        #: pairs — one per remote reader — folded into every advancement
+        #: decision exactly like local section contexts.
+        self._external_sources: list = []
 
     # ------------------------------------------------------------------
     # Thread registration
@@ -248,6 +253,37 @@ class EpochManager:
             return sum(1 for key in self._contexts if key < 0)
 
     # ------------------------------------------------------------------
+    # External reader sections (cross-process epoch protocol)
+    # ------------------------------------------------------------------
+
+    def register_external(self, source) -> None:
+        """Register a cross-process reader-section source.
+
+        *source* is called (under the registry lock — it must not block)
+        whenever an advancement decision is made and must yield
+        ``(in_critical, epoch)`` pairs describing remote readers, e.g.
+        worker processes publishing their pinned epoch through a shared
+        slot array.  A remote reader pinning epoch ``e`` blocks
+        advancement past ``e`` exactly like a local thread would, which
+        is what keeps reclamation from reusing a segment's bytes while an
+        attached worker still scans them.
+        """
+        with self._registry_lock:
+            self._external_sources.append(source)
+
+    def unregister_external(self, source) -> None:
+        with self._registry_lock:
+            try:
+                self._external_sources.remove(source)
+            except ValueError:
+                pass
+
+    def _external_pairs(self):
+        # Caller holds the registry lock.
+        for source in self._external_sources:
+            yield from source()
+
+    # ------------------------------------------------------------------
     # Critical sections
     # ------------------------------------------------------------------
 
@@ -327,6 +363,9 @@ class EpochManager:
                         continue
                     if ctx.in_critical and ctx.epoch < current:
                         return False
+                for in_critical, epoch in self._external_pairs():
+                    if in_critical and epoch < current:
+                        return False
             self._global_epoch = current + 1
             if _san.SANITIZER is not None:
                 _san.SANITIZER.event(
@@ -360,6 +399,9 @@ class EpochManager:
                     continue
                 if ctx.in_critical and ctx.epoch < epoch:
                     return False
+            for in_critical, remote_epoch in self._external_pairs():
+                if in_critical and remote_epoch < epoch:
+                    return False
         return True
 
     def min_active_epoch(self) -> int:
@@ -372,6 +414,11 @@ class EpochManager:
             epochs = [
                 ctx.epoch for ctx in self._contexts.values() if ctx.in_critical
             ]
+            epochs.extend(
+                epoch
+                for in_critical, epoch in self._external_pairs()
+                if in_critical
+            )
         if not epochs:
             return self._global_epoch
         return min(epochs)

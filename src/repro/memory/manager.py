@@ -79,10 +79,20 @@ class MemoryManager:
         reclamation_threshold: float = DEFAULT_RECLAMATION_THRESHOLD,
         direct_pointers: bool = False,
         string_dict: bool = True,
+        shm: bool = False,
     ) -> None:
         if not 0.0 <= reclamation_threshold <= 1.0:
             raise ValueError("reclamation_threshold must be within [0, 1]")
-        self.space = AddressSpace(block_shift)
+        #: Back block buffers with named shared-memory segments so worker
+        #: processes can attach them (``repro.memory.shm``); required by
+        #: the multi-process scatter-gather executor.
+        self.shm = shm
+        buffers = None
+        if shm:
+            from repro.memory.shm import SharedBuffers
+
+            buffers = SharedBuffers()
+        self.space = AddressSpace(block_shift, buffers=buffers)
         self.epochs = EpochManager()
         self.table = IndirectionTable()
         self.strings = StringHeap(self.space, self.epochs)
@@ -109,6 +119,11 @@ class MemoryManager:
         self.compactor: Optional["Compactor"] = None
         self.next_relocation_epoch: Optional[int] = None
         self.in_moving_phase = False
+
+        #: Process-pool executor for scatter-gather scans, if one was
+        #: attached (``repro.query.procexec.ProcessScanPool``); consulted
+        #: by the vectorised engine when routing parallel queries.
+        self.exec_pool = None
 
         self.stats = MemoryStats()
 
@@ -455,6 +470,10 @@ class MemoryManager:
         """Release every context, pooled block and string block."""
         if self._closed:
             return
+        pool = self.exec_pool
+        if pool is not None:
+            self.exec_pool = None
+            pool.shutdown()
         for context in self._contexts:
             context.close()
         with self._pool_lock:
@@ -463,6 +482,9 @@ class MemoryManager:
         for block in pooled:
             block.release()
         self.strings.close()
+        # With shared buffers this unlinks every remaining segment; zero
+        # orphan /dev/shm/smc_* files is part of the contract.
+        self.space.buffers.close()
         self._closed = True
 
     def __enter__(self) -> "MemoryManager":

@@ -53,17 +53,20 @@ _MIN_CLASS = 16
 class StringBlock:
     """A bump-allocated block holding string records."""
 
-    __slots__ = ("space", "block_id", "base_address", "buf", "bump")
+    __slots__ = ("space", "block_id", "base_address", "segment", "buf", "bump")
 
     def __init__(self, space: "AddressSpace") -> None:
         self.space = space
         self.block_id = space.register(self)
         self.base_address = space.address_of(self.block_id)
-        self.buf = bytearray(space.block_size)
+        self.segment = space.buffers.create(space.block_size)
+        self.buf = self.segment.buf
         self.bump = 0
 
     def release(self) -> None:
         self.space.unregister(self.block_id)
+        self.buf = None
+        self.segment.release()
 
 
 class StringHeap:

@@ -128,12 +128,17 @@ def _column_of(manager, block, name: str) -> np.ndarray:
     return _row_view(block, layout, name)
 
 
-def run_columnar(
+def build_scan_plan(
     query: Query,
     params: Dict[str, Any],
-    workers: Optional[int] = None,
     prune: bool = True,
-) -> Result:
+) -> Tuple["_ScanPlan", List[Any]]:
+    """Lower *query* to a scan plan plus its post-scan operator list.
+
+    The plan is what executors (serial, thread pool, process pool)
+    consume; the post ops (order/limit/having/distinct) always run on
+    the driver after the merge.
+    """
     source = query.source
     manager = source.manager
 
@@ -169,12 +174,45 @@ def run_columnar(
     plan = _ScanPlan(
         manager, source, params, filters, inset_ops, terminal, zone_tests
     )
+    return plan, post
+
+
+def run_columnar(
+    query: Query,
+    params: Dict[str, Any],
+    workers: Optional[int] = None,
+    prune: bool = True,
+) -> Result:
+    plan, post = build_scan_plan(query, params, prune=prune)
+    manager = plan.manager
+    zone_tests = plan.zone_tests
 
     nworkers = max(1, int(workers or 1))
     if nworkers > 1:
-        from repro.query.parallel import run_parallel
+        # Engine choice: a process pool attached to the manager handles
+        # eligible scans (aggregating/projecting terminals); anything it
+        # declines — enumeration, a busy pool, a mid-query mutation, a
+        # worker failure — falls back to the thread executor, which is
+        # always correct.
+        result = None
+        pool = getattr(manager, "exec_pool", None)
+        if pool is not None:
+            from repro.query.procexec import run_process_scan
 
-        acc, pruned, scanned = run_parallel(plan, nworkers)
+            result = run_process_scan(plan, pool)
+        extra = manager.stats.extra
+        if result is not None:
+            acc, pruned, scanned = result
+            extra["exec_process_queries"] = (
+                extra.get("exec_process_queries", 0) + 1
+            )
+        else:
+            from repro.query.parallel import run_parallel
+
+            acc, pruned, scanned = run_parallel(plan, nworkers)
+            extra["exec_thread_queries"] = (
+                extra.get("exec_thread_queries", 0) + 1
+            )
     else:
         acc, pruned, scanned = _run_serial(plan)
 

@@ -36,6 +36,7 @@ bit-identical results at any worker count.
 
 from __future__ import annotations
 
+import atexit
 import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import List, Optional, Tuple
@@ -70,12 +71,20 @@ def _get_pool(workers: int) -> ThreadPoolExecutor:
 
 
 def shutdown_pool() -> None:
-    """Tear down the persistent worker pool (tests / interpreter exit)."""
+    """Tear down the persistent worker pool (tests / interpreter exit).
+
+    Idempotent — the None guard makes repeated calls (an explicit test
+    teardown followed by the atexit hook) free.
+    """
     global _POOL
     with _POOL_LOCK:
         if _POOL is not None:
             _POOL.shutdown(wait=True)
             _POOL = None
+
+
+# Interpreter exit must not strand non-daemon pool threads mid-join.
+atexit.register(shutdown_pool)
 
 
 class MorselDispatcher:

@@ -402,6 +402,29 @@ def instrument_manager(registry: MetricsRegistry, manager) -> None:
     registry.add_snapshot("manager_counters", _manager_counters)
 
 
+def instrument_exec(registry: MetricsRegistry, pool) -> None:
+    """Export the process executor's worker-pool state (``smc_exec_*``).
+
+    The gauges are scrape-time reads of the
+    :class:`~repro.query.procexec.ProcessScanPool`; the lifetime
+    counters (``smc_exec_morsels_dispatched_total``,
+    ``smc_exec_morsels_redispatched_total``, ``smc_exec_worker_respawns
+    _total`` and the per-query ``smc_exec_process_queries_total`` /
+    ``smc_exec_thread_queries_total`` engine-choice split) already ride
+    ``manager.stats.extra`` through :func:`instrument_manager`.
+    """
+    registry.gauge(
+        "smc_exec_workers",
+        "Scan worker processes configured for the process executor",
+        callback=lambda: float(pool.workers),
+    )
+    registry.gauge(
+        "smc_exec_workers_alive",
+        "Scan worker processes currently forked and responsive",
+        callback=lambda: float(pool.alive_workers()),
+    )
+
+
 def instrument_durability(registry: MetricsRegistry, store) -> None:
     """Export the durable store's WAL/checkpoint/recovery telemetry.
 

@@ -47,6 +47,7 @@ from repro.service.metrics import (
     MetricsRegistry,
     engine_snapshot,
     instrument_durability,
+    instrument_exec,
     instrument_manager,
     instrument_replication,
 )
@@ -138,6 +139,7 @@ class QueryService:
         metrics: Optional[MetricsRegistry] = None,
         store=None,
         replication=None,
+        exec_workers: int = 0,
     ) -> None:
         self.collections = {
             k: v for k, v in collections.items() if not k.startswith("_")
@@ -155,9 +157,24 @@ class QueryService:
         #: ``mutate`` is refused with NOT_PRIMARY and ``query`` enforces
         #: bounded staleness against its applied-LSN watermark.
         self.replication = replication
+        #: Process pool for scatter-gather scans when ``exec_workers > 0``
+        #: (requires a shared-memory manager).  The pool attaches to the
+        #: manager, so the vectorised engine routes any eligible
+        #: multi-worker query through it; ineligible plans fall back to
+        #: the thread pool, visible in the smc_exec_*_queries counters.
+        self.exec_pool = None
+        if exec_workers:
+            from repro.query.procexec import ProcessScanPool
+
+            self.exec_pool = ProcessScanPool(
+                self.manager, workers=int(exec_workers)
+            )
+            self.manager.exec_pool = self.exec_pool
         self.metrics = metrics or MetricsRegistry()
         instrument_manager(self.metrics, self.manager)
         engine_snapshot(self.metrics)
+        if self.exec_pool is not None:
+            instrument_exec(self.metrics, self.exec_pool)
         if store is not None:
             instrument_durability(self.metrics, store)
         if replication is not None:
@@ -552,6 +569,13 @@ class QueryService:
 
     def close(self) -> None:
         self.stop_churn()
+        if self.exec_pool is not None:
+            # Stop the worker processes before the session watchdog goes
+            # away; their epoch leases unregister cleanly either way, but
+            # a live pool must never outlast the service that created it.
+            self.manager.exec_pool = None
+            self.exec_pool.shutdown()
+            self.exec_pool = None
         self.sessions.close()
         if self.replication is not None:
             # Stop streaming before touching the store; an unpromoted

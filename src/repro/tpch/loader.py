@@ -32,15 +32,17 @@ def load_smc(
     manager: Optional[MemoryManager] = None,
     columnar: bool = False,
     string_dict: bool = True,
+    shm: bool = False,
 ) -> Dict[str, Any]:
     """Load the dataset into SMCs; returns name → collection.
 
     The returned dict also carries the manager under ``"_manager"``.
     ``string_dict=False`` disables dictionary encoding for varstring
-    columns (the ``--no-dict`` ablation); ignored when an explicit
-    *manager* is supplied.
+    columns (the ``--no-dict`` ablation); ``shm=True`` backs the blocks
+    with named shared-memory segments so a process pool can attach them.
+    Both are ignored when an explicit *manager* is supplied.
     """
-    manager = manager or MemoryManager(string_dict=string_dict)
+    manager = manager or MemoryManager(string_dict=string_dict, shm=shm)
     factory = ColumnarCollection if columnar else Collection
     collections: Dict[str, Any] = {
         name: factory(tpch_schema.SCHEMAS[name], manager=manager)

@@ -1,0 +1,279 @@
+"""Multi-process scatter-gather execution over shared-memory block pools.
+
+Differential guarantees first: with blocks in named shared-memory
+segments, every TPC-H query routed through the process pool must return
+exactly the serial in-process rows, on both layouts, across mutations
+(worker respawn) and worker death (morsel redispatch).  Then the
+protocol pieces: segment visibility and the attach round-trip, the
+cross-process epoch pins, plan/accumulator wire encoding, and the
+zero-orphan ``/dev/shm`` contract.
+
+All tests here are sanitizer-compatible (``pytest --sanitize``).
+"""
+
+from __future__ import annotations
+
+import glob
+
+import numpy as np
+import pytest
+
+from repro.memory.manager import MemoryManager
+from repro.memory.shm import SEGMENT_PREFIX, SharedBuffers
+from repro.query.procexec import ProcessScanPool, run_process_scan
+from repro.tpch.loader import load_smc
+from repro.tpch.queries import DEFAULT_PARAMS, EXTRA_QUERIES, QUERIES
+
+ALL_QUERIES = {**QUERIES, **EXTRA_QUERIES}
+
+
+def _canonical(result):
+    """Order-insensitive comparison form of a query result."""
+    return (tuple(result.columns), sorted(map(tuple, result.rows)))
+
+
+def _segments():
+    return set(glob.glob(f"/dev/shm/{SEGMENT_PREFIX}*"))
+
+
+# ----------------------------------------------------------------------
+# Buffer policy: named segments, attach round-trip, leak contract
+# ----------------------------------------------------------------------
+
+
+def test_shared_buffers_create_attach_release():
+    before = _segments()
+    buffers = SharedBuffers()
+    seg = buffers.create(4096)
+    assert seg.name.startswith(SEGMENT_PREFIX)
+    assert f"/dev/shm/{seg.name}" in _segments() - before
+
+    view = np.frombuffer(seg.buf, dtype=np.uint8)
+    view[: 4] = (1, 2, 3, 4)
+    # Same-process attach returns the cached mapping; the bytes written
+    # through the owner's view are the bytes an attacher reads.
+    att = buffers.attach(seg.name)
+    assert bytes(att.buf[:4]) == b"\x01\x02\x03\x04"
+
+    view = None
+    seg.release()
+    buffers.close()
+    assert _segments() == before
+
+
+def test_heap_vs_shm_results_identical(tpch_tiny):
+    heap = load_smc(tpch_tiny, columnar=True)
+    shm = load_smc(tpch_tiny, columnar=True, shm=True)
+    try:
+        for name, builder in sorted(ALL_QUERIES.items()):
+            want = _canonical(builder(heap).run(params=DEFAULT_PARAMS))
+            got = _canonical(builder(shm).run(params=DEFAULT_PARAMS))
+            assert got == want, name
+    finally:
+        heap["_manager"].close()
+        shm["_manager"].close()
+
+
+def test_no_orphan_segments_after_close(tpch_tiny):
+    before = _segments()
+    collections = load_smc(tpch_tiny, shm=True)
+    manager = collections["_manager"]
+    pool = ProcessScanPool(manager, workers=2)
+    manager.exec_pool = pool
+    query = ALL_QUERIES["q6"](collections)
+    query.run(params=DEFAULT_PARAMS, workers=2)
+    assert _segments() - before  # blocks really live in /dev/shm
+    manager.close()  # shuts the pool, unlinks every segment
+    assert _segments() == before
+
+
+# ----------------------------------------------------------------------
+# Scatter-gather differential: every query, both layouts
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module", params=["row", "columnar"])
+def pooled_smc(request, tpch_tiny):
+    collections = load_smc(
+        tpch_tiny, columnar=request.param == "columnar", shm=True
+    )
+    manager = collections["_manager"]
+    manager.exec_pool = ProcessScanPool(manager, workers=2)
+    yield collections
+    manager.close()
+
+
+@pytest.mark.parametrize("name", sorted(ALL_QUERIES))
+def test_differential_process_pool(pooled_smc, name):
+    """Process-pool scans return exactly the serial in-process rows."""
+    manager = pooled_smc["_manager"]
+    query = ALL_QUERIES[name](pooled_smc)
+    expected = _canonical(query.run(params=DEFAULT_PARAMS, workers=1))
+    before = manager.stats.extra.get("exec_process_queries", 0)
+    got = query.run(params=DEFAULT_PARAMS, workers=2)
+    assert _canonical(got) == expected
+    # The query really took the process path, not the thread fallback.
+    assert manager.stats.extra.get("exec_process_queries", 0) == before + 1
+
+
+def test_enumeration_falls_back_to_threads(pooled_smc):
+    """Plans without a terminal (handle enumeration) stay in-process."""
+    manager = pooled_smc["_manager"]
+    before = manager.stats.extra.get("exec_thread_queries", 0)
+    rows = pooled_smc["region"].query().run(workers=2)
+    assert len(list(rows)) == len(pooled_smc["region"])
+    assert manager.stats.extra.get("exec_thread_queries", 0) == before + 1
+
+
+# ----------------------------------------------------------------------
+# Mutations, worker death, epoch pins
+# ----------------------------------------------------------------------
+
+
+def _shm_tpch(tpch_tiny, columnar=False):
+    collections = load_smc(tpch_tiny, columnar=columnar, shm=True)
+    manager = collections["_manager"]
+    manager.exec_pool = ProcessScanPool(manager, workers=2)
+    return collections, manager
+
+
+def test_mutation_respawns_workers(tpch_tiny):
+    collections, manager = _shm_tpch(tpch_tiny)
+    try:
+        query = ALL_QUERIES["q1"](collections)
+        expected = _canonical(query.run(params=DEFAULT_PARAMS, workers=1))
+        assert _canonical(query.run(params=DEFAULT_PARAMS, workers=2)) == expected
+        fp = manager.exec_pool.fingerprint()
+        collections["lineitem"].add(**tpch_tiny.lineitem[0])
+        assert manager.exec_pool.fingerprint() != fp
+        post = _canonical(query.run(params=DEFAULT_PARAMS, workers=1))
+        assert _canonical(query.run(params=DEFAULT_PARAMS, workers=2)) == post
+        assert manager.stats.extra.get("exec_worker_respawns", 0) >= 1
+    finally:
+        manager.close()
+
+
+def test_worker_crash_redispatches_morsels(tpch_tiny):
+    """A worker SIGKILLed mid-query is detected; its unacked morsels are
+    re-executed in the parent and the result stays byte-identical."""
+    from repro import sanitizer
+
+    collections, manager = _shm_tpch(tpch_tiny)
+    try:
+        query = ALL_QUERIES["q1"](collections)
+        expected = _canonical(query.run(params=DEFAULT_PARAMS, workers=1))
+        # after=0: every participating worker dies on its first morsel,
+        # so the parent must recover the entire dispatch set.
+        plan = sanitizer.FaultPlan().crash_at("exec.worker", after=0)
+        with sanitizer.enabled(manager=manager, faults=plan):
+            got = query.run(params=DEFAULT_PARAMS, workers=2)
+        assert _canonical(got) == expected
+        assert manager.stats.extra.get("exec_morsels_redispatched", 0) >= 1
+        # The next query respawns a full complement and still agrees.
+        again = query.run(params=DEFAULT_PARAMS, workers=2)
+        assert _canonical(again) == expected
+        assert manager.exec_pool.alive_workers() == 2
+    finally:
+        manager.close()
+
+
+def test_compaction_churn_differential(tpch_tiny):
+    """Serial and process-pool scans agree across compaction cycles."""
+    collections, manager = _shm_tpch(tpch_tiny)  # row layout: compactable
+    try:
+        lineitem = collections["lineitem"]
+        for i, handle in enumerate(list(lineitem)):
+            if i % 3 == 0:
+                lineitem.remove(handle)
+        for __ in range(2):
+            moved = lineitem.compact(occupancy_threshold=0.9)
+            assert moved >= 0
+            for name in ("q1", "q6", "q14"):
+                query = ALL_QUERIES[name](collections)
+                want = _canonical(query.run(params=DEFAULT_PARAMS, workers=1))
+                got = _canonical(query.run(params=DEFAULT_PARAMS, workers=2))
+                assert got == want, name
+    finally:
+        manager.close()
+
+
+def test_worker_pin_holds_reclamation_epoch(tpch_tiny):
+    """A worker's published reader section pins min_active_epoch exactly
+    like an in-process critical section would."""
+    collections, manager = _shm_tpch(tpch_tiny)
+    try:
+        pool = manager.exec_pool
+        pool._ensure_workers()
+        rec = pool._procs[0]
+        base = rec["index"] * 4
+        pinned = manager.epochs.global_epoch
+        # Publish a reader section the way the worker does: payload
+        # first, flag last.
+        pool._slots[base + 1 : base + 4] = (pinned, rec["pid"], 1)
+        pool._slots[base] = 1
+        for __ in range(3):
+            manager.advance_epoch()
+        assert manager.epochs.min_active_epoch() <= pinned
+        pool._slots[base] = 0
+        manager.advance_epoch()
+        assert manager.epochs.min_active_epoch() > pinned
+    finally:
+        manager.close()
+
+
+# ----------------------------------------------------------------------
+# Wire encoding
+# ----------------------------------------------------------------------
+
+
+def test_plan_wire_roundtrip_executes(tpch_tiny):
+    """An encoded-then-decoded plan runs to the same rows in-process."""
+    from repro.query import plansnap
+    from repro.query.columnar_exec import build_scan_plan
+
+    collections = load_smc(tpch_tiny, shm=True)
+    manager = collections["_manager"]
+    try:
+        for name in ("q1", "q6", "q12"):
+            query = ALL_QUERIES[name](collections)
+            expected = _canonical(query.run(params=DEFAULT_PARAMS, workers=1))
+            plan, __ = build_scan_plan(query, DEFAULT_PARAMS, prune=True)
+            wire = plansnap.encode_plan(manager, plan)
+            decoded = plansnap.decode_plan(manager, wire)
+            assert decoded.zone_tests == []  # workers never prune
+            acc = decoded.make_accumulator()
+            probes = decoded.make_probes()
+            for block in decoded.source.context.blocks():
+                decoded.process_block(block, probes, acc)
+            columns, rows = acc.finish(manager)
+            assert (tuple(columns), sorted(map(tuple, rows))) == expected, name
+    finally:
+        manager.close()
+
+
+def test_pool_requires_shared_buffers(tpch_tiny):
+    collections = load_smc(tpch_tiny)  # heap policy
+    manager = collections["_manager"]
+    try:
+        with pytest.raises(ValueError, match="shared-memory"):
+            ProcessScanPool(manager, workers=2)
+    finally:
+        manager.close()
+
+
+def test_foreign_plan_is_refused(tpch_tiny):
+    """A pool never runs a plan built against a different manager."""
+    from repro.query.columnar_exec import build_scan_plan
+
+    a = load_smc(tpch_tiny, shm=True)
+    b = load_smc(tpch_tiny)
+    try:
+        pool = ProcessScanPool(a["_manager"], workers=1)
+        a["_manager"].exec_pool = pool
+        plan, __ = build_scan_plan(
+            ALL_QUERIES["q6"](b), DEFAULT_PARAMS, prune=False
+        )
+        assert run_process_scan(plan, pool) is None
+    finally:
+        a["_manager"].close()
+        b["_manager"].close()
