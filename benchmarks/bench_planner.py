@@ -1,0 +1,289 @@
+"""Cost-based planner ablation bench + memory-governor churn gate.
+
+Runs every TPC-H query (q1-q7, q10, q12, q14) over a columnar SMC twice
+per configuration — once with the cost-based planner (conjunct
+reordering, access-path choice, adaptive morsels) and once with the
+``--no-planner`` ablation (declaration-order predicates, no access-path
+choice; zone pruning stays on in both arms, so the measured delta is
+the planner's decisions alone).  For each query it records:
+
+* best-of-N wall time for both arms and the speedup ratio;
+* ``matches_baseline`` — the planned result must equal the ablation
+  result row for row (order-insensitive); any mismatch is a hard
+  failure (exit 1), timings never are;
+* the planner's estimated output rows vs the rows actually matched
+  (from the execution-feedback registry) and the relative error.
+
+A second phase churns the unified memory governor: a plan cache and the
+collections' string-dictionary match caches share one deliberately tiny
+byte budget while a key-churning workload drives misses into both
+tenants.  After every rebalance each tenant's usage must sit at or
+under its granted ceiling and the total at or under the budget; a
+breach is a hard failure.
+
+The full sweep writes ``BENCH_planner.json`` at the repo root;
+``--smoke`` runs a reduced matrix (tiny scale factor, 2 repeats, no
+JSON) for CI.
+
+Run as::
+
+    PYTHONPATH=src python benchmarks/bench_planner.py [--smoke]
+"""
+
+from __future__ import annotations
+
+import argparse
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _canonical(result):
+    """Order-insensitive comparison form of a query result."""
+    return (tuple(result.columns), sorted(map(repr, result.rows)))
+
+
+def _best_of(fn, repeat):
+    best = float("inf")
+    for _ in range(repeat):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+# ----------------------------------------------------------------------
+# Phase 1: planner vs --no-planner ablation over TPC-H
+# ----------------------------------------------------------------------
+
+
+def run_query_sweep(collections, repeat):
+    from repro.query import planner as planner_mod
+    from repro.tpch.queries import DEFAULT_PARAMS, EXTRA_QUERIES, QUERIES
+
+    all_queries = dict(QUERIES)
+    all_queries.update(EXTRA_QUERIES)
+    records = []
+    failures = []
+    for name, builder in all_queries.items():
+        query = builder(collections)
+
+        def planned():
+            return query.run(params=DEFAULT_PARAMS, planner=True)
+
+        def ablated():
+            return query.run(params=DEFAULT_PARAMS, planner=False)
+
+        baseline = _canonical(ablated())
+        result = _canonical(planned())
+        matches = result == baseline
+        if not matches:
+            failures.append(f"{name}: planned result differs from ablation")
+        t_on = _best_of(planned, repeat)
+        t_off = _best_of(ablated, repeat)
+        obs = planner_mod.observation(query.signature())
+        est_rows = actual_rows = error = None
+        if obs is not None and obs.get("runs"):
+            est_rows = int(obs["est_rows"])
+            actual_rows = int(obs["rows_matched"])
+            error = abs(est_rows - actual_rows) / max(1, actual_rows)
+        rec = {
+            "query": name,
+            "t_planner_ms": round(t_on * 1e3, 3),
+            "t_no_planner_ms": round(t_off * 1e3, 3),
+            "speedup_vs_no_planner": round(t_off / t_on, 3),
+            "matches_baseline": matches,
+            "est_rows": est_rows,
+            "actual_rows": actual_rows,
+            "row_estimate_error": None if error is None else round(error, 4),
+        }
+        records.append(rec)
+        err = "  n/a" if error is None else f"{error:5.2f}"
+        print(
+            f"  {name:>4}: planner={t_on * 1e3:7.1f}ms "
+            f"ablation={t_off * 1e3:7.1f}ms "
+            f"speedup={rec['speedup_vs_no_planner']:5.2f}x "
+            f"est/actual={est_rows}/{actual_rows} err={err} "
+            f"match={'ok' if matches else 'FAIL'}",
+            flush=True,
+        )
+    return records, failures
+
+
+# ----------------------------------------------------------------------
+# Phase 2: governor ceiling under cache churn
+# ----------------------------------------------------------------------
+
+#: Deliberately tiny budget so the churn workload overruns it without
+#: eviction — the phase gates on eviction keeping every ceiling honored.
+GOVERNOR_BUDGET = 96 * 1024
+
+CHURN_ROUNDS = 160
+
+#: Above the ceiling by this relative slack counts as a breach.  Tenant
+#: usage is sampled immediately after a rebalance, so exact equality is
+#: the expectation; the epsilon only absorbs integer floor arithmetic.
+CEILING_SLACK = 1.01
+
+
+def run_governor_churn(collections):
+    from repro.memory.governor import MemoryGovernor
+    from repro.service.plancache import PlanCache
+    from repro.tpch.schema import Lineitem as L
+
+    governor = MemoryGovernor(GOVERNOR_BUDGET, rebalance_every=8)
+    plans = PlanCache()
+    governor.register(
+        "plan_cache",
+        usage=plans.usage_bytes,
+        counters=plans.counters,
+        set_budget=plans.set_budget,
+    )
+    dicts = [
+        sd
+        for coll in collections.values()
+        if (sd := getattr(coll, "strdict", None)) is not None
+    ]
+    governor.register(
+        "string_dicts",
+        usage=lambda: sum(d.cache_bytes for d in dicts),
+        counters=lambda: (
+            sum(d.match_hits for d in dicts),
+            sum(d.match_misses for d in dicts),
+        ),
+        set_budget=lambda n: [
+            d.set_match_budget(max(1, n // len(dicts))) for d in dicts
+        ],
+        weight=2.0,
+    )
+    lineitem = collections["lineitem"]
+    needles = ["the", "slyly", "furious", "pending", "quick", "regular"]
+    breaches = []
+    max_fraction = 0.0
+    for i in range(CHURN_ROUNDS):
+        # Plan-cache churn: a rolling key population twice the nominal
+        # capacity forces steady misses and oldest-first evictions.
+        key = PlanCache.key_for(f"churn-{i % 48}", "columnar", "dict", "compiled")
+        plans.get_or_build(key, lambda: {"round": i})
+        if i % 4 == 0:
+            # Match-cache churn: every distinct needle caches one
+            # address set per dictionary; cycling needles grows usage
+            # until the governor's ceiling forces eviction.
+            needle = needles[(i // 4) % len(needles)]
+            lineitem.query().where(L.comment.contains(needle)).count(
+                planner=True
+            )
+        if governor.maybe_rebalance():
+            snap = governor.snapshot()
+            total = snap["usage_bytes"]
+            max_fraction = max(max_fraction, total / GOVERNOR_BUDGET)
+            if total > GOVERNOR_BUDGET * CEILING_SLACK:
+                breaches.append(
+                    f"round {i}: total usage {total} over budget "
+                    f"{GOVERNOR_BUDGET}"
+                )
+            for tname, t in snap["tenants"].items():
+                if t["usage_bytes"] > t["share_bytes"] * CEILING_SLACK:
+                    breaches.append(
+                        f"round {i}: tenant {tname} usage "
+                        f"{t['usage_bytes']} over share {t['share_bytes']}"
+                    )
+    governor.rebalance()
+    final = governor.snapshot()
+    record = {
+        "budget_bytes": GOVERNOR_BUDGET,
+        "churn_rounds": CHURN_ROUNDS,
+        "rebalances": final["rebalances"],
+        "final_usage_bytes": final["usage_bytes"],
+        "max_usage_fraction": round(max_fraction, 4),
+        "plan_capacity_evictions": plans.capacity_evictions,
+        "ceiling_honored": not breaches,
+        "tenants": final["tenants"],
+    }
+    print(
+        f"  governor: {final['rebalances']} rebalances, "
+        f"peak usage {max_fraction:.0%} of {GOVERNOR_BUDGET} B, "
+        f"final {final['usage_bytes']} B "
+        f"({'ok' if not breaches else 'BREACH'})",
+        flush=True,
+    )
+    return record, breaches
+
+
+# ----------------------------------------------------------------------
+# Driver
+# ----------------------------------------------------------------------
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--sf", type=float, default=None, help="TPC-H scale factor")
+    parser.add_argument("--repeat", type=int, default=None, help="timing repeats")
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="reduced matrix for CI: tiny scale, 2 repeats, no JSON",
+    )
+    parser.add_argument(
+        "--out",
+        default=str(REPO_ROOT / "BENCH_planner.json"),
+        help="output JSON path (full mode only)",
+    )
+    args = parser.parse_args()
+    sf = args.sf if args.sf is not None else (0.01 if args.smoke else 0.05)
+    repeat = args.repeat if args.repeat is not None else (2 if args.smoke else 7)
+
+    from repro.bench.harness import write_json_atomic
+    from repro.tpch.datagen import generate
+    from repro.tpch.loader import load_smc
+
+    print(f"generating TPC-H SF={sf} ...", flush=True)
+    collections = load_smc(generate(sf, seed=42), columnar=True)
+    manager = collections["_manager"]
+    try:
+        print(f"planner vs ablation ({repeat} repeats, serial):", flush=True)
+        records, failures = run_query_sweep(collections, repeat)
+        print("governor churn:", flush=True)
+        governor_record, breaches = run_governor_churn(collections)
+        failures.extend(breaches)
+
+        fast = [r for r in records if r["speedup_vs_no_planner"] >= 1.5]
+        payload = {
+            "bench": "planner",
+            "scale_factor": sf,
+            "repeat": repeat,
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "queries": records,
+            "governor": governor_record,
+            "gate": {
+                "queries_ge_1_5x": sorted(r["query"] for r in fast),
+                "required_ge_1_5x": 3,
+                "speedup_gate_met": len(fast) >= 3,
+                "all_match_baseline": all(
+                    r["matches_baseline"] for r in records
+                ),
+                "governor_ceiling_honored": governor_record[
+                    "ceiling_honored"
+                ],
+            },
+        }
+        if not args.smoke:
+            write_json_atomic(args.out, payload)
+            print(f"wrote {args.out}", flush=True)
+        if failures:
+            print("FAILURES:", file=sys.stderr)
+            for f in failures:
+                print(f"  {f}", file=sys.stderr)
+            return 1
+        print("all configurations match the ablation baseline", flush=True)
+        return 0
+    finally:
+        manager.close()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

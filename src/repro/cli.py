@@ -254,6 +254,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         store=store,
         replication=replication,
         exec_workers=exec_workers,
+        governor_budget=args.governor_budget,
+        planner=not args.no_planner,
     )
     if args.churn:
         service.start_churn()
@@ -432,13 +434,18 @@ def _cmd_query(args: argparse.Namespace) -> int:
     )
     query = builder(collections)
     if args.explain:
-        print(query.explain())
+        print(
+            query.explain(
+                params=DEFAULT_PARAMS, planner=not args.no_planner
+            )
+        )
     start = time.perf_counter()
     result = query.run(
         engine=args.engine,
         params=DEFAULT_PARAMS,
         workers=args.workers,
         prune=not args.no_prune,
+        planner=not args.no_planner,
     )
     elapsed = (time.perf_counter() - start) * 1000
     widths = [
@@ -573,6 +580,21 @@ def build_parser() -> argparse.ArgumentParser:
         "count; implies --shm)",
     )
     serve.add_argument(
+        "--governor-budget",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="unified byte budget for the service's caches (plan cache, "
+        "string-dict match caches, WAL group-commit buffer), "
+        "rebalanced by the memory governor",
+    )
+    serve.add_argument(
+        "--no-planner",
+        action="store_true",
+        help="disable the cost-based planner for served queries "
+        "(ablation; per-request 'planner' flags still override)",
+    )
+    serve.add_argument(
         "--replica-of",
         metavar="HOST:PORT",
         help="serve as a read replica of the given primary: clone its "
@@ -630,6 +652,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-dict",
         action="store_true",
         help="disable dictionary encoding for varstring columns (ablation)",
+    )
+    query.add_argument(
+        "--no-planner",
+        action="store_true",
+        help="disable cost-based predicate ordering, access-path choice "
+        "and adaptive morsel sizing (ablation)",
     )
     query.set_defaults(fn=_cmd_query)
 

@@ -93,6 +93,11 @@ KIND_NAMES = {
 #: fsync policies: every record / every commit boundary / never.
 FSYNC_POLICIES = ("always", "commit", "none")
 
+#: Default group-commit buffer capacity: batched frames accumulate in
+#: memory up to this many bytes before being pushed to the file in one
+#: write (the memory governor may resize it per segment).
+DEFAULT_BUFFER_CAPACITY = 256 * 1024
+
 
 class RecoveryError(SmcError):
     """Raised when a data directory cannot be recovered."""
@@ -283,11 +288,23 @@ class WriteAheadLog:
         self._batch_seq = 0
         self._dead = False
         self._crashed = False
+        # Group-commit buffer: frames appended inside an open batch park
+        # here and reach the file in one write at the commit boundary
+        # (or when the buffer hits capacity).  ``_offset`` is the logical
+        # end including buffered bytes; ``_committed_offset`` only ever
+        # advances after a flush, so ``read_tail`` (which reads the file)
+        # never chases bytes that are still in memory.  Disabled under
+        # the sanitizer, whose crash points need every byte on disk.
+        self._buffer = bytearray()
+        self.buffer_capacity = DEFAULT_BUFFER_CAPACITY
         # Lifetime counters (the metrics bridge scrapes these).
         self.records = 0
         self.bytes_written = 0
         self.fsyncs = 0
         self.batches = 0
+        self.buffered_records = 0
+        self.buffer_flushes = 0
+        self.buffer_capacity_flushes = 0
 
     # -- construction ---------------------------------------------------
 
@@ -405,7 +422,9 @@ class WriteAheadLog:
             frame = _RECORD_HEADER.pack(crc, len(body), lsn, kind) + body
             if _san.SANITIZER is not None:
                 # Split the write so an injected crash between the halves
-                # leaves a genuinely torn record on disk.
+                # leaves a genuinely torn record on disk.  Buffering is
+                # off under the sanitizer, whose crash points must find
+                # every previously appended byte already in the file.
                 split = min(len(frame), RECORD_HEADER_SIZE + len(body) // 2)
                 self._fh.write(frame[:split])
                 self._offset += split
@@ -415,14 +434,23 @@ class WriteAheadLog:
                 self._fh.write(frame[split:])
                 self._offset += len(frame) - split
             else:
-                self._fh.write(frame)
+                self._buffer += frame
                 self._offset += len(frame)
+                if self._batch_depth > 0:
+                    self.buffered_records += 1
+                    if len(self._buffer) >= self.buffer_capacity:
+                        self._flush_buffer()
+                        self.buffer_capacity_flushes += 1
             self._next_lsn = lsn + 1
             self.records += 1
             self.bytes_written += len(frame)
             # COMMIT is appended after batch() drops the depth to zero,
             # so "depth == 0 here" marks exactly the committed boundary.
+            # The flush before the boundary advances keeps the invariant
+            # that the file always holds every byte below
+            # ``_committed_offset`` (read_tail reads the file, not us).
             if self._batch_depth == 0:
+                self._flush_buffer()
                 self._committed_lsn = lsn
                 self._committed_offset = self._offset
             if sync is None:
@@ -432,6 +460,29 @@ class WriteAheadLog:
             if sync:
                 self.sync()
             return lsn
+
+    def _flush_buffer(self) -> None:
+        """Push buffered frames to the file in one write (lock held)."""
+        if self._buffer:
+            self._fh.write(self._buffer)
+            self._buffer.clear()
+            self.buffer_flushes += 1
+
+    def set_buffer_capacity(self, capacity: int) -> None:
+        """Resize the group-commit buffer ceiling (governor hook).
+
+        Shrinking below the currently buffered bytes flushes immediately
+        so the buffer never exceeds its ceiling between appends.
+        """
+        with self._lock:
+            self.buffer_capacity = max(4096, int(capacity))
+            if len(self._buffer) >= self.buffer_capacity:
+                self._flush_buffer()
+                self.buffer_capacity_flushes += 1
+
+    @property
+    def buffered_bytes(self) -> int:
+        return len(self._buffer)
 
     @contextlib.contextmanager
     def batch(self):
@@ -554,6 +605,7 @@ class WriteAheadLog:
         with self._lock:
             if self._crashed:
                 return
+            self._flush_buffer()
             if _san.SANITIZER is not None:
                 _san.SANITIZER.event("wal.fsync", wal=self)
             os.fsync(self._fh.fileno())
@@ -579,6 +631,9 @@ class WriteAheadLog:
         crashed so the dead store cannot keep appending.
         """
         with self._lock:
+            # Buffered frames never reached the page cache at all — a
+            # power cut loses them before any unsynced file bytes.
+            self._buffer.clear()
             self._fh.truncate(self._synced_offset)
             os.fsync(self._fh.fileno())
             self._crashed = True
@@ -587,10 +642,12 @@ class WriteAheadLog:
         with self._lock:
             if self._fh.closed:
                 return
-            if sync and not self._dead and not self._crashed:
-                os.fsync(self._fh.fileno())
-                self._synced_offset = self._offset
-                self.fsyncs += 1
+            if not self._dead and not self._crashed:
+                self._flush_buffer()
+                if sync:
+                    os.fsync(self._fh.fileno())
+                    self._synced_offset = self._offset
+                    self.fsyncs += 1
             self._fh.close()
             self._dead = True
 

@@ -98,14 +98,23 @@ class ZoneMap:
     the exact set of codes present in the block when the block's distinct
     count is small (at most :data:`CODE_SET_LIMIT`); otherwise the entry
     is absent and only the lo/hi envelope applies.
+
+    ``charsets[name]`` holds the analogous small-domain value set for
+    fixed-width ``CharField`` columns (raw padded bytes).  Char fields
+    are *not* zoned for write invalidation (:func:`is_zoned` excludes
+    them, so in-place Char updates do not bump ``zone_version``), which
+    means a charset may silently go stale.  It is therefore **advisory
+    only** — the planner folds charsets into domain-cardinality
+    estimates, but pruning must never test them.
     """
 
-    __slots__ = ("lo", "hi", "codes", "stale", "version")
+    __slots__ = ("lo", "hi", "codes", "charsets", "stale", "version")
 
     def __init__(self, version: int) -> None:
         self.lo: Dict[str, float] = {}
         self.hi: Dict[str, float] = {}
         self.codes: Dict[str, frozenset] = {}
+        self.charsets: Dict[str, frozenset] = {}
         self.stale = 0
         self.version = version
 
@@ -124,14 +133,17 @@ class ZoneMap:
 
 def zone_specs(
     context: "MemoryContext",
-) -> List[Tuple[str, np.dtype, int, bool]]:
-    """Cached ``(name, dtype, offset, is_code)`` list of zoned fields.
+) -> List[Tuple[str, np.dtype, int, str]]:
+    """Cached ``(name, dtype, offset, kind)`` list of zoned fields.
 
     The dtype/offset pair builds a strided view over a row block's slot
-    bytes; columnar builds only need the names.  ``is_code`` marks
-    dictionary-coded varstring columns, which get code-set statistics on
-    top of the min/max envelope.  Contexts without a layout (e.g. the
-    string store) have no zoned fields.
+    bytes; columnar builds only need the names.  ``kind`` is ``"num"``
+    for ordered scalars (min/max envelope), ``"code"`` for
+    dictionary-coded varstring columns (envelope plus small-domain code
+    sets) and ``"char"`` for fixed-width Char columns (small-domain
+    value sets only — padded bytes have no useful numeric envelope).
+    Contexts without a layout (e.g. the string store) have no zoned
+    fields.
     """
     specs = getattr(context, "_zone_specs", None)
     if specs is None:
@@ -139,13 +151,18 @@ def zone_specs(
         if layout is None:  # string store etc.: nothing to zone, no cache
             return []
         specs = [
-            (f.name, _VIEW_DTYPES[type(f).__name__], f.offset, False)
+            (f.name, _VIEW_DTYPES[type(f).__name__], f.offset, "num")
             for f in layout.fields
             if type(f).__name__ in _ELIGIBLE_FIELDS
         ]
+        specs.extend(
+            (f.name, np.dtype(f"S{f.width}"), f.offset, "char")
+            for f in layout.fields
+            if type(f).__name__ == "CharField"
+        )
         if getattr(context, "strdict", None) is not None:
             specs.extend(
-                (f.name, np.int64, f.offset, True) for f in layout.var_fields
+                (f.name, np.int64, f.offset, "code") for f in layout.var_fields
             )
         context._zone_specs = specs
     return specs
@@ -169,7 +186,7 @@ def _compute(context: "MemoryContext", block, version: int) -> Optional[ZoneMap]
     zones = ZoneMap(version)
     columns = getattr(block, "columns", None)
     mv = None if columns is not None else memoryview(block.buf)
-    for name, dtype, off, is_code in specs:
+    for name, dtype, off, kind in specs:
         if columns is not None:
             col = columns[name]
         else:
@@ -181,7 +198,7 @@ def _compute(context: "MemoryContext", block, version: int) -> Optional[ZoneMap]
                 strides=(block.slot_size,),
             )
         vals = col[valid]
-        if is_code:
+        if kind == "code":
             # Row templates store NULL_ADDRESS (-1) for unset varstrings;
             # both -1 and 0 decode to "", so fold them before bounding.
             uniq = np.unique(np.maximum(vals, 0))
@@ -189,6 +206,14 @@ def _compute(context: "MemoryContext", block, version: int) -> Optional[ZoneMap]
             zones.hi[name] = uniq[-1].item()
             if uniq.size <= CODE_SET_LIMIT:
                 zones.codes[name] = frozenset(int(c) for c in uniq)
+            continue
+        if kind == "char":
+            # Advisory distinct set for the planner's cardinality
+            # estimates; no lo/hi (padded bytes are not ordinals) and
+            # never consulted by pruning (see class docstring).
+            uniq = np.unique(vals)
+            if uniq.size <= CODE_SET_LIMIT:
+                zones.charsets[name] = frozenset(bytes(v) for v in uniq)
             continue
         zones.lo[name] = vals.min().item()
         zones.hi[name] = vals.max().item()

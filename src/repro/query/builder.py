@@ -345,6 +345,7 @@ class Query:
         flavor: Optional[str] = None,
         workers: Optional[int] = None,
         prune: Optional[bool] = None,
+        planner: Optional[bool] = None,
         **kwparams: Any,
     ) -> Result:
         """Execute the query and return a :class:`Result`.
@@ -355,9 +356,10 @@ class Query:
         paper's SMC (C#) series on a collection that defaults to the
         unsafe backend).  ``workers`` > 1 fans the scan out over the
         morsel-parallel executor; ``prune=False`` disables block-level
-        zone-map pruning (both only affect the vectorised SMC backends).
-        Dynamic parameters may be passed via ``params=`` or as keyword
-        arguments.
+        zone-map pruning; ``planner=False`` disables cost-based conjunct
+        ordering and access-path choice (all three only affect the
+        vectorised SMC backends).  Dynamic parameters may be passed via
+        ``params=`` or as keyword arguments.
         """
         merged = dict(params or {})
         merged.update(kwparams)
@@ -374,11 +376,21 @@ class Query:
                 flavor=flavor,
                 workers=workers,
                 prune=prune if prune is not None else True,
+                planner=planner,
             )
         raise ValueError(f"unknown engine {engine!r}")
 
-    def explain(self, flavor: Optional[str] = None) -> str:
-        """Human-readable plan: source, operators, compiled backend."""
+    def explain(
+        self,
+        flavor: Optional[str] = None,
+        params: Optional[Dict[str, Any]] = None,
+        planner: Optional[bool] = None,
+    ) -> str:
+        """Human-readable plan: source, operators, compiled backend, and
+        (for the vectorised SMC backends) the cost-based planner's
+        ordered conjuncts with estimated selectivities, the chosen
+        access path, and — once the query has executed — estimated vs
+        actual rows from the feedback registry."""
         from repro.query.compiler import flavor_for
 
         try:
@@ -392,6 +404,36 @@ class Query:
         ]
         for op in self.ops:
             lines.append(f"  -> {op.signature()}")
+        if backend in ("columnar", "smc-unsafe"):
+            from repro.query import planner as _planner
+
+            use_planner = (
+                _planner.enabled() if planner is None else bool(planner)
+            )
+            if use_planner:
+                filters = [
+                    op.pred for op in self.ops if isinstance(op, Where)
+                ]
+                try:
+                    __, __, info = _planner.plan_scan(
+                        self.signature(), filters, dict(params or {}),
+                        self.source,
+                    )
+                except Exception:
+                    info = None
+                if info is not None:
+                    lines.extend(info.explain_lines())
+                    obs = _planner.observation(self.signature())
+                    if obs is not None:
+                        lines.append(
+                            f"  last run: {obs['rows_matched']} rows matched "
+                            f"of {obs['rows_scanned']} scanned "
+                            f"(est {obs['est_rows']}), "
+                            f"{obs['blocks_pruned']} blocks pruned / "
+                            f"{obs['blocks_scanned']} scanned"
+                        )
+            else:
+                lines.append("  planner: off (declaration-order predicates)")
         return "\n".join(lines)
 
     def count(self, **kwparams: Any) -> int:

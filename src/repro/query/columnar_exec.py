@@ -71,6 +71,7 @@ from repro.query.expressions import (
     StrPrefix,
     YearOf,
 )
+from repro.query import planner as _planner
 from repro.query.runtime import scan_blocks
 from repro.schema.fields import (
     CharField,
@@ -132,12 +133,16 @@ def build_scan_plan(
     query: Query,
     params: Dict[str, Any],
     prune: bool = True,
+    planner: Optional[bool] = None,
 ) -> Tuple["_ScanPlan", List[Any]]:
     """Lower *query* to a scan plan plus its post-scan operator list.
 
     The plan is what executors (serial, thread pool, process pool)
     consume; the post ops (order/limit/having/distinct) always run on
-    the driver after the merge.
+    the driver after the merge.  ``planner`` toggles cost-based conjunct
+    splitting/ordering and access-path choice (None = process default);
+    with the planner off, predicates run in declaration order — the
+    ablation baseline.
     """
     source = query.source
     manager = source.manager
@@ -164,15 +169,30 @@ def build_scan_plan(
         else:
             raise CompileError(f"cannot run op {op!r} on the columnar engine")
 
-    # Cost-based filter ordering: predicates that stay on the scanned
-    # block run before predicates that navigate references, so gathers
-    # operate on already-reduced row sets — the kind of operator
-    # reordering the paper's query compiler performs statically.
-    filters.sort(key=_nav_depth)
+    # Cost-based filter ordering (repro.query.planner): conjunctions are
+    # split and conjuncts ranked cheapest-and-most-selective-first from
+    # zone-map / dictionary statistics, so expensive navigating kernels
+    # see already-reduced row sets.  With the planner disabled (the
+    # ablation) predicates run exactly as declared.
+    use_planner = _planner.enabled() if planner is None else bool(planner)
+    index_choice = None
+    info = None
+    if use_planner:
+        filters, index_choice, info = _planner.plan_scan(
+            query.signature(), filters, params, source, prune=prune
+        )
 
     zone_tests = derive_zone_tests(filters, params, source) if prune else []
     plan = _ScanPlan(
-        manager, source, params, filters, inset_ops, terminal, zone_tests
+        manager,
+        source,
+        params,
+        filters,
+        inset_ops,
+        terminal,
+        zone_tests,
+        index_choice,
+        info,
     )
     return plan, post
 
@@ -182,13 +202,25 @@ def run_columnar(
     params: Dict[str, Any],
     workers: Optional[int] = None,
     prune: bool = True,
+    planner: Optional[bool] = None,
 ) -> Result:
-    plan, post = build_scan_plan(query, params, prune=prune)
+    plan, post = build_scan_plan(query, params, prune=prune, planner=planner)
     manager = plan.manager
     zone_tests = plan.zone_tests
 
     nworkers = max(1, int(workers or 1))
-    if nworkers > 1:
+    if plan.index_choice is not None:
+        # Access-path substitution: the hash index names the candidate
+        # rows, only their blocks are touched, every filter re-applies.
+        acc, pruned, scanned = _run_index_lookup(plan)
+        extra = manager.stats.extra
+        extra["index_lookup_queries"] = (
+            extra.get("index_lookup_queries", 0) + 1
+        )
+        extra["index_skipped_blocks"] = (
+            extra.get("index_skipped_blocks", 0) + pruned
+        )
+    elif nworkers > 1:
         # Engine choice: a process pool attached to the manager handles
         # eligible scans (aggregating/projecting terminals); anything it
         # declines — enumeration, a busy pool, a mid-query mutation, a
@@ -218,13 +250,42 @@ def run_columnar(
 
     extra = manager.stats.extra
     extra["scan_rows"] = extra.get("scan_rows", 0) + acc.rows_scanned
+    extra["scan_rows_matched"] = (
+        extra.get("scan_rows_matched", 0) + acc.rows_matched
+    )
     extra["scan_blocks"] = extra.get("scan_blocks", 0) + scanned
+    # Pruning telemetry distinguishes "zone tests ran, nothing prunable"
+    # (tested blocks grow, pruned may stay 0) from "no zone test could
+    # be derived" (untested blocks grow).
     if zone_tests:
+        extra["zone_tested_blocks"] = (
+            extra.get("zone_tested_blocks", 0) + scanned + pruned
+        )
         extra["zone_pruned_blocks"] = (
             extra.get("zone_pruned_blocks", 0) + pruned
         )
         extra["zone_scanned_blocks"] = (
             extra.get("zone_scanned_blocks", 0) + scanned
+        )
+    else:
+        extra["zone_untested_blocks"] = (
+            extra.get("zone_untested_blocks", 0) + scanned
+        )
+    # Observed per-query selectivity (ppm), for the feedback loop and
+    # the metrics bridge.
+    if acc.rows_scanned:
+        extra["last_scan_selectivity_ppm"] = int(
+            1_000_000 * acc.rows_matched / acc.rows_scanned
+        )
+    if plan.info is not None:
+        _planner.record_observation(
+            plan.info,
+            rows_scanned=acc.rows_scanned,
+            rows_matched=acc.rows_matched,
+            blocks_scanned=scanned,
+            blocks_pruned=pruned,
+            block_count=plan.source.context.block_count(),
+            workers=nworkers,
         )
 
     columns, rows = acc.finish(manager)
@@ -259,10 +320,21 @@ class _ScanPlan:
         "inset_ops",
         "terminal",
         "zone_tests",
+        "index_choice",
+        "info",
     )
 
     def __init__(
-        self, manager, source, params, filters, inset_ops, terminal, zone_tests
+        self,
+        manager,
+        source,
+        params,
+        filters,
+        inset_ops,
+        terminal,
+        zone_tests,
+        index_choice=None,
+        info=None,
     ) -> None:
         self.manager = manager
         self.source = source
@@ -271,6 +343,15 @@ class _ScanPlan:
         self.inset_ops = inset_ops
         self.terminal = terminal
         self.zone_tests = zone_tests
+        #: planner access-path substitution (``planner.IndexChoice``)
+        self.index_choice = index_choice
+        #: planner estimates (``planner.PlanInfo``) — None with planner off
+        self.info = info
+
+    @property
+    def morsel_hint(self):
+        """Adaptive morsel width from execution feedback (None = default)."""
+        return self.info.morsel_hint if self.info is not None else None
 
     def make_probes(self) -> List["_InsetProbe"]:
         return [_InsetProbe(op, sub) for op, sub in self.inset_ops]
@@ -312,6 +393,7 @@ class _ScanPlan:
             ctx.refine(probe.mask(ctx))
             if ctx.idx.size == 0:
                 return
+        acc.rows_matched += int(ctx.idx.size)
         acc.absorb(ctx)
 
 
@@ -332,6 +414,86 @@ def _run_serial(plan: _ScanPlan) -> Tuple["_Accumulator", int, int]:
     finally:
         manager.epochs.exit_critical_section()
     return acc, pruned, scanned
+
+
+def _run_index_lookup(plan: _ScanPlan) -> Tuple["_Accumulator", int, int]:
+    """Execute *plan* through its hash-index point lookup.
+
+    The index resolves the candidate rows' indirection entries; their
+    current addresses group into per-block candidate slot sets, and the
+    scan enumerator is then driven normally but only candidate blocks
+    build kernels (restricted to the candidate slots, with **all**
+    filters re-applied — the index is an access path, not a semantics
+    change).  Driving ``scan_blocks`` keeps the compaction-group
+    protocol identical to a full scan, and visiting blocks in scan
+    order keeps row order identical to the serial scan's.  Like any
+    scan, concurrent-mutation visibility follows bag semantics.
+    """
+    manager = plan.manager
+    space = manager.space
+    acc = plan.make_accumulator()
+    probes = plan.make_probes()
+    choice = plan.index_choice
+    scanned = 0
+    total = 0
+    manager.epochs.enter_critical_section()
+    try:
+        handles = choice.index.get(choice.key)
+        table = manager.table
+        shift = space.block_shift
+        mask = space.block_size - 1
+        by_block: Dict[int, List[int]] = {}
+        for handle in handles:
+            addr = table._addr[handle.ref.entry]
+            if addr == NULL_ADDRESS:
+                continue
+            by_block.setdefault(int(addr) >> shift, []).append(
+                int(addr) & mask
+            )
+        for block in scan_blocks(manager, plan.source.context):
+            total += 1
+            offsets = by_block.get(block.block_id)
+            if offsets is None:
+                continue
+            scanned += 1
+            ctx = _BlockCtx(manager, plan.source, block, plan.params)
+            if ctx.idx.size == 0:
+                continue
+            if hasattr(block, "columns"):
+                slots = np.array(sorted(offsets), dtype=np.int64)
+            else:
+                slots = np.array(
+                    sorted(
+                        (off - block.object_offset) // block.slot_size
+                        for off in offsets
+                    ),
+                    dtype=np.int64,
+                )
+            ctx.refine(np.isin(ctx.idx, slots))
+            if ctx.idx.size == 0:
+                continue
+            acc.rows_scanned += int(ctx.idx.size)
+            empty = False
+            for pred in plan.filters:
+                arr, __ = ctx.eval(pred)
+                ctx.refine(np.asarray(arr, dtype=bool))
+                if ctx.idx.size == 0:
+                    empty = True
+                    break
+            if empty:
+                continue
+            for probe in probes:
+                ctx.refine(probe.mask(ctx))
+                if ctx.idx.size == 0:
+                    empty = True
+                    break
+            if empty:
+                continue
+            acc.rows_matched += int(ctx.idx.size)
+            acc.absorb(ctx)
+    finally:
+        manager.epochs.exit_critical_section()
+    return acc, total - scanned, scanned
 
 
 def _nav_depth(expr: Expr) -> int:
@@ -432,19 +594,28 @@ class _BlockCtx:
         self.block = block
         self.params = params
         self.idx = block.valid_slots()
-        #: navigation cache: steps tuple -> address array (aligned to idx)
-        self._addrs: Dict[tuple, np.ndarray] = {}
+        #: navigation cache: steps tuple -> (address array, version)
+        self._addrs: Dict[tuple, Tuple[np.ndarray, int]] = {}
         #: per-address-array block grouping (argsort + slot ids), shared by
         #: every field gathered through the same navigation path
         self._groupings: Dict[tuple, "_AddressGrouping"] = {}
-        #: value cache: expr signature -> array (aligned to idx)
-        self._vals: Dict[str, np.ndarray] = {}
+        #: value cache: expr signature -> (array, dtype, version)
+        self._vals: Dict[str, Tuple[np.ndarray, Any, int]] = {}
+        #: keep masks applied by refine(); cached arrays record the
+        #: version (keep count) they are aligned to and catch up lazily
+        #: on access, so a predicate value that is never reused costs
+        #: nothing when later predicates shrink the candidate set.
+        self._keeps: List[np.ndarray] = []
 
     def refine(self, keep: np.ndarray) -> None:
         self.idx = self.idx[keep]
-        self._addrs = {k: v[keep] for k, v in self._addrs.items()}
+        self._keeps.append(keep)
         self._groupings.clear()  # groupings index the pre-refine arrays
-        self._vals = {k: (v[keep], d) for k, (v, d) in self._vals.items()}
+
+    def _catch_up(self, arr: np.ndarray, version: int) -> np.ndarray:
+        for i in range(version, len(self._keeps)):
+            arr = arr[self._keeps[i]]
+        return arr
 
     def _strdict_for(self, field):
         """String dictionary of the collection owning *field*, if any."""
@@ -472,7 +643,11 @@ class _BlockCtx:
             return None
         cached = self._addrs.get(steps)
         if cached is not None:
-            return cached
+            arr, version = cached
+            if version != len(self._keeps):
+                arr = self._catch_up(arr, version)
+                self._addrs[steps] = (arr, len(self._keeps))
+            return arr
         parent = self.addresses(steps[:-1])
         field = steps[-1]
         manager = self.manager
@@ -508,7 +683,7 @@ class _BlockCtx:
             if not np.array_equal(entry_inc, inc & INC_MASK):
                 raise NullReferenceError("reference incarnation mismatch")
             addrs = table._addr[w]
-        self._addrs[steps] = addrs
+        self._addrs[steps] = (addrs, len(self._keeps))
         return addrs
 
     def column(self, steps: Tuple[RefField, ...], name: str) -> np.ndarray:
@@ -526,10 +701,14 @@ class _BlockCtx:
         sig = expr.signature()
         cached = self._vals.get(sig)
         if cached is not None:
-            return cached
+            value, dtype, version = cached
+            if version != len(self._keeps):
+                value = self._catch_up(value, version)
+                self._vals[sig] = (value, dtype, len(self._keeps))
+            return value, dtype
         value, dtype = self._eval(expr)
         if isinstance(value, np.ndarray):
-            self._vals[sig] = (value, dtype)
+            self._vals[sig] = (value, dtype, len(self._keeps))
         return value, dtype
 
     def _eval(self, expr: Expr) -> Tuple[Any, Tuple[str, Any]]:
@@ -806,6 +985,88 @@ class _AddressGrouping:
 # ----------------------------------------------------------------------
 
 
+def _concat(chunks: List[np.ndarray]) -> np.ndarray:
+    return chunks[0] if len(chunks) == 1 else np.concatenate(chunks)
+
+
+def _group_factorize(cols: List[np.ndarray]) -> Tuple[List[tuple], np.ndarray]:
+    """``(uniq_keys, inverse)`` lexicographic grouping of key columns.
+
+    A single column factorizes directly.  Multiple columns factorize
+    independently and combine their per-column ranks into one integer
+    key space (cardinalities multiply), which groups with cheap int64
+    sorts instead of a structured-dtype sort; only a (pathological)
+    combined space that could overflow int64 falls back to the record
+    sort.
+    """
+    if len(cols) == 1:
+        uniq, inverse = np.unique(cols[0], return_inverse=True)
+        return [(k,) for k in uniq.tolist()], inverse
+    uniqs, invs, sizes = [], [], []
+    span = 1
+    for col in cols:
+        u, inv = np.unique(col, return_inverse=True)
+        uniqs.append(u)
+        invs.append(inv.astype(np.int64, copy=False))
+        sizes.append(max(1, len(u)))
+        span *= max(1, len(u))
+    if span < 2 ** 62:
+        codes = invs[0]
+        for inv, size in zip(invs[1:], sizes[1:]):
+            codes = codes * size + inv
+        ucodes, inverse = np.unique(codes, return_inverse=True)
+        parts = []
+        rem = ucodes
+        for size in reversed(sizes[1:]):
+            parts.append(rem % size)
+            rem = rem // size
+        parts.append(rem)
+        parts.reverse()
+        columns = [uniqs[j][parts[j]].tolist() for j in range(len(cols))]
+        return list(zip(*columns)), inverse
+    rec = np.rec.fromarrays(cols)
+    uniq, inverse = np.unique(rec, return_inverse=True)
+    return [tuple(u) for u in uniq.tolist()], inverse
+
+
+def _grouped_sums(
+    chunks: List[np.ndarray], inverse: np.ndarray, nuniq: int
+) -> np.ndarray:
+    """Per-group sums folded chunk by chunk (chunk = one scanned block).
+
+    Dense-group-code scatter: ``np.add.at`` is an unbuffered (hence
+    slow) scatter; bincount-with-weights is the vectorised fast path.
+    Weights accumulate in float64, exact only below 2**53, so each
+    chunk guards on its worst-case partial-sum magnitude.  Chunks fold
+    in scan order, so float sums reproduce the serial per-block
+    addition order bit for bit.
+    """
+    total = None
+    pos = 0
+    for arr in chunks:
+        inv = inverse[pos : pos + arr.size]
+        pos += arr.size
+        if arr.dtype.kind in "iu":
+            amax = (
+                max(abs(int(arr.min())), abs(int(arr.max())))
+                if arr.size
+                else 0
+            )
+            if arr.size * max(amax, 1) < 2 ** 53:
+                part = np.bincount(
+                    inv, weights=arr, minlength=nuniq
+                ).astype(np.int64)
+            else:
+                part = np.zeros(nuniq, dtype=np.int64)
+                np.add.at(part, inv, arr)
+        else:
+            part = np.bincount(inv, weights=arr, minlength=nuniq)
+        total = part if total is None else total + part
+    if total is None:
+        return np.zeros(nuniq, dtype=np.int64)
+    return total
+
+
 class _Accumulator:
     def __init__(self, terminal) -> None:
         self.terminal = terminal
@@ -813,8 +1074,13 @@ class _Accumulator:
         self.groups: Dict[Any, list] = {}
         self.key_dtypes: Optional[List[Tuple[str, Any]]] = None
         self.agg_dtypes: Optional[List[Tuple[str, Any]]] = None
+        #: Deferred group-by input: per-block ``(n, key_arrays,
+        #: agg_arrays)`` vectors, folded once by :meth:`_collapse`.
+        self._pending: List[Tuple[int, list, list]] = []
         #: Valid rows examined before filtering (scan-volume telemetry).
         self.rows_scanned = 0
+        #: Rows surviving every filter/probe (observed selectivity).
+        self.rows_matched = 0
 
     def absorb(self, ctx: _BlockCtx) -> None:
         terminal = self.terminal
@@ -842,36 +1108,31 @@ class _Accumulator:
         self.rows.extend(zip(*columns))
 
     def _absorb_groupby(self, ctx: _BlockCtx) -> None:
+        """Defer a block's group-by input: evaluate and append, don't fold.
+
+        Per-block grouping used to pay a unique + a Python merge per
+        (block x group); instead the key/aggregate vectors are stashed
+        and :meth:`_collapse` factorizes and folds the whole scan's
+        output once, vectorised end to end.
+        """
         op: GroupBy = self.terminal
+        n = ctx.idx.size
         key_arrays = []
         key_dtypes = []
         for __, e in op.keys:
             arr, dtype = ctx.eval(e)
-            key_arrays.append(np.asarray(arr))
+            arr = np.asarray(arr)
+            if arr.ndim == 0:  # constant key: broadcast to the row count
+                arr = np.full(n, arr[()])
+            key_arrays.append(arr)
             key_dtypes.append(dtype)
         self.key_dtypes = key_dtypes
-        n = ctx.idx.size
-        if key_arrays:
-            if len(key_arrays) == 1:
-                uniq, inverse = np.unique(key_arrays[0], return_inverse=True)
-                uniq_keys = [(k,) for k in uniq.tolist()]
-            else:
-                rec = np.rec.fromarrays(key_arrays)
-                uniq, inverse = np.unique(rec, return_inverse=True)
-                uniq_keys = [tuple(u) for u in uniq.tolist()]
-        else:
-            uniq_keys = [()]
-            inverse = np.zeros(n, dtype=np.int64)
-        nuniq = len(uniq_keys)
-
+        agg_arrays: List[Optional[np.ndarray]] = []
         agg_dtypes = []
-        partials: List[list] = [[] for __ in range(nuniq)]
-        counts = np.bincount(inverse, minlength=nuniq)
         for __, agg in op.aggs:
             if agg.kind == "count":
                 agg_dtypes.append(("int", None))
-                for g in range(nuniq):
-                    partials[g].append(("count", int(counts[g])))
+                agg_arrays.append(None)
                 continue
             arr, dtype = ctx.eval(agg.expr)
             arr = np.asarray(arr)
@@ -881,42 +1142,61 @@ class _Accumulator:
                 # min/max order by text, not by allocation-ordered code.
                 arr = dtype[1].decode_array(arr)
                 dtype = ("str", "py")
+            if arr.ndim == 0:
+                arr = np.full(n, arr[()])
             agg_dtypes.append(dtype)
-            if agg.kind in ("sum", "avg"):
-                if arr.dtype.kind in "iu":
-                    # Dense-group-code scatter: np.add.at is an unbuffered
-                    # (hence slow) scatter; bincount-with-weights is the
-                    # vectorised fast path.  Weights accumulate in
-                    # float64, exact only below 2**53, so guard on the
-                    # worst-case partial-sum magnitude.
-                    amax = (
-                        max(abs(int(arr.min())), abs(int(arr.max())))
-                        if arr.size
-                        else 0
-                    )
-                    if arr.size * max(amax, 1) < 2 ** 53:
-                        sums = np.bincount(
-                            inverse, weights=arr, minlength=nuniq
-                        ).astype(np.int64)
-                    else:
-                        sums = np.zeros(nuniq, dtype=np.int64)
-                        np.add.at(sums, inverse, arr)
+            agg_arrays.append(arr)
+        self.agg_dtypes = agg_dtypes
+        if n:  # empty blocks set dtypes but contribute no groups
+            self._pending.append((n, key_arrays, agg_arrays))
+
+    def _collapse(self) -> None:
+        """Fold the deferred group-by vectors into the ``groups`` dict.
+
+        Runs once per accumulator (at finish, merge or wire encoding):
+        one key factorization plus one vectorised fold per aggregate
+        over the concatenated scan output.  Sums fold chunk by chunk in
+        block order, reproducing exactly the partial-sum addition order
+        (and the float64/int64 exactness guard) of the former per-block
+        path.
+        """
+        pending = self._pending
+        if not pending:
+            return
+        self._pending = []
+        op: GroupBy = self.terminal
+        total = sum(p[0] for p in pending)
+        nkeys = len(op.keys)
+        if nkeys:
+            cols = [
+                _concat([p[1][i] for p in pending]) for i in range(nkeys)
+            ]
+            uniq_keys, inverse = _group_factorize(cols)
+        else:
+            uniq_keys = [()]
+            inverse = np.zeros(total, dtype=np.int64)
+        nuniq = len(uniq_keys)
+        counts = np.bincount(inverse, minlength=nuniq)
+        count_list = counts.tolist()
+        cells_per_agg: List[list] = []
+        for i, (__, agg) in enumerate(op.aggs):
+            kind = agg.kind
+            if kind == "count":
+                cells_per_agg.append(count_list)
+                continue
+            chunks = [p[2][i] for p in pending]
+            if kind in ("sum", "avg"):
+                sums = _grouped_sums(chunks, inverse, nuniq).tolist()
+                if kind == "sum":
+                    cells_per_agg.append(sums)
                 else:
-                    sums = np.bincount(inverse, weights=arr, minlength=nuniq)
-                for g in range(nuniq):
-                    partials[g].append((agg.kind, (sums[g].item(), int(counts[g]))))
-            elif agg.kind in ("min", "max"):
-                if arr.dtype.kind not in "iuf":
-                    # Strings (object or bytes): per-group Python fold.
-                    cells: List[Any] = [None] * nuniq
-                    lt = agg.kind == "min"
-                    for g, v in zip(inverse.tolist(), arr.tolist()):
-                        cur = cells[g]
-                        if cur is None or (v < cur if lt else v > cur):
-                            cells[g] = v
-                    for g in range(nuniq):
-                        partials[g].append((agg.kind, cells[g]))
-                elif agg.kind == "min":
+                    cells_per_agg.append(
+                        [[s, c] for s, c in zip(sums, count_list)]
+                    )
+                continue
+            arr = _concat(chunks)
+            if arr.dtype.kind in "iuf":
+                if kind == "min":
                     fill = (
                         np.iinfo(arr.dtype).max
                         if arr.dtype.kind in "iu"
@@ -924,8 +1204,6 @@ class _Accumulator:
                     )
                     out = np.full(nuniq, fill, dtype=arr.dtype)
                     np.minimum.at(out, inverse, arr)
-                    for g in range(nuniq):
-                        partials[g].append(("min", out[g].item()))
                 else:
                     fill = (
                         np.iinfo(arr.dtype).min
@@ -934,27 +1212,43 @@ class _Accumulator:
                     )
                     out = np.full(nuniq, fill, dtype=arr.dtype)
                     np.maximum.at(out, inverse, arr)
-                    for g in range(nuniq):
-                        partials[g].append(("max", out[g].item()))
-        self.agg_dtypes = agg_dtypes
-
+                cells_per_agg.append(out.tolist())
+            else:
+                # Strings (object or bytes): per-group Python fold.
+                cells: List[Any] = [None] * nuniq
+                lt = kind == "min"
+                for g, v in zip(inverse.tolist(), arr.tolist()):
+                    cur = cells[g]
+                    if cur is None or (v < cur if lt else v > cur):
+                        cells[g] = v
+                cells_per_agg.append(cells)
+        groups = self.groups
+        kinds = [agg.kind for __, agg in op.aggs]
+        if not groups:
+            for g, key in enumerate(uniq_keys):
+                groups[key] = [
+                    self._init_cell(kinds[i], cells_per_agg[i][g])
+                    for i in range(len(kinds))
+                ]
+            return
+        # Rare path: deferred vectors folding into groups that already
+        # hold merged-in (wire-decoded) partials.
         for g, key in enumerate(uniq_keys):
-            acc = self.groups.get(key)
+            acc = groups.get(key)
             if acc is None:
-                self.groups[key] = [
-                    self._init_cell(kind, value) for kind, value in partials[g]
+                groups[key] = [
+                    self._init_cell(kinds[i], cells_per_agg[i][g])
+                    for i in range(len(kinds))
                 ]
             else:
-                for i, (kind, value) in enumerate(partials[g]):
-                    self._merge_cell(acc, i, kind, value)
+                for i, kind in enumerate(kinds):
+                    self._merge_cell(acc, i, kind, cells_per_agg[i][g])
 
     @staticmethod
     def _init_cell(kind: str, value):
-        if kind == "sum":
-            return value[0]
         if kind == "avg":
-            return [value[0], value[1]]
-        return value  # count / min / max
+            return list(value)  # [total, count], mutable running pair
+        return value  # count / sum / min / max
 
     def merge(self, other: "_Accumulator") -> None:
         """Fold another partial accumulator into this one (barrier merge).
@@ -965,9 +1259,14 @@ class _Accumulator:
         """
         self.rows.extend(other.rows)
         self.rows_scanned += other.rows_scanned
+        self.rows_matched += other.rows_matched
         if other.key_dtypes is not None:
             self.key_dtypes = other.key_dtypes
             self.agg_dtypes = other.agg_dtypes
+        # Deferred group-by vectors concatenate in merge order, so the
+        # final collapse folds them exactly as one serial scan would.
+        self._pending.extend(other._pending)
+        other._pending = []
         if not other.groups:
             return
         kinds = [agg.kind for __, agg in self.terminal.aggs]
@@ -991,13 +1290,11 @@ class _Accumulator:
 
     @staticmethod
     def _merge_cell(acc: list, i: int, kind: str, value) -> None:
-        if kind == "sum":
-            acc[i] += value[0]
+        if kind in ("sum", "count"):
+            acc[i] += value
         elif kind == "avg":
             acc[i][0] += value[0]
             acc[i][1] += value[1]
-        elif kind == "count":
-            acc[i] += value
         elif kind == "min":
             acc[i] = value if acc[i] is None else min(acc[i], value)
         elif kind == "max":
@@ -1010,6 +1307,7 @@ class _Accumulator:
         if isinstance(terminal, Select):
             return [name for name, __ in terminal.outputs], self.rows
         op: GroupBy = terminal
+        self._collapse()
         columns = [n for n, __ in op.keys] + [n for n, __ in op.aggs]
         rows: List[tuple] = []
         if self.key_dtypes is None:

@@ -121,6 +121,7 @@ def run_compiled(
     flavor: Optional[str] = None,
     workers: Optional[int] = None,
     prune: bool = True,
+    planner: Optional[bool] = None,
 ) -> Result:
     flavor = flavor or flavor_for(query.source)
     if flavor in ("columnar", "smc-unsafe"):
@@ -130,7 +131,9 @@ def run_compiled(
         # "smc-unsafe-scalar" ablation flavour.
         from repro.query.columnar_exec import run_columnar
 
-        return run_columnar(query, params, workers=workers, prune=prune)
+        return run_columnar(
+            query, params, workers=workers, prune=prune, planner=planner
+        )
     if flavor == "smc-unsafe-scalar":
         flavor = "smc-unsafe"
     compiled = get_compiled(query, flavor)

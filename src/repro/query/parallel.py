@@ -237,7 +237,14 @@ def run_parallel(plan, workers: int):
     manager.epochs.enter_critical_section()
     try:
         context = plan.source.context
-        morsel_size = -(-context.block_count() // (workers * MORSELS_PER_WORKER))
+        # Adaptive morsel width: feedback from earlier runs of the same
+        # query shrinks morsels when zone pruning admits few blocks, so
+        # each dispatch unit still carries work (repro.query.planner).
+        morsel_size = getattr(plan, "morsel_hint", None)
+        if morsel_size is None:
+            morsel_size = -(
+                -context.block_count() // (workers * MORSELS_PER_WORKER)
+            )
         dispatcher = MorselDispatcher(context, morsel_size)
         futures = [
             pool.submit(_scan_worker, dispatcher, plan)

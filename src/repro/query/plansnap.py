@@ -274,6 +274,7 @@ def _dec_dtype(dtype, manager):
 
 def encode_accumulator(manager, acc) -> dict:
     names = _strdict_names(manager)
+    acc._collapse()  # fold deferred group-by chunks into `groups`
     return {
         "rows": acc.rows,
         "groups": list(acc.groups.items()),
@@ -288,6 +289,7 @@ def encode_accumulator(manager, acc) -> dict:
             else [_enc_dtype(d, names) for d in acc.agg_dtypes]
         ),
         "rows_scanned": acc.rows_scanned,
+        "rows_matched": acc.rows_matched,
     }
 
 
@@ -302,4 +304,5 @@ def decode_accumulator(manager, terminal, wire: dict):
     if wire["agg_dtypes"] is not None:
         acc.agg_dtypes = [_dec_dtype(d, manager) for d in wire["agg_dtypes"]]
     acc.rows_scanned = int(wire["rows_scanned"])
+    acc.rows_matched = int(wire.get("rows_matched", 0))
     return acc

@@ -644,9 +644,14 @@ class ProcessScanPool:
         try:
             context = plan.source.context
             workers = [rec for rec in self._procs if rec["alive"]]
-            morsel_size = -(
-                -context.block_count() // (len(workers) * MORSELS_PER_WORKER)
-            )
+            # Adaptive morsel width (planner feedback), same as the
+            # thread executor; None falls back to the static split.
+            morsel_size = getattr(plan, "morsel_hint", None)
+            if morsel_size is None:
+                morsel_size = -(
+                    -context.block_count()
+                    // (len(workers) * MORSELS_PER_WORKER)
+                )
             dispatcher = MorselDispatcher(context, morsel_size)
 
             # Drain the dispatcher on the parent: prune with authoritative

@@ -50,6 +50,82 @@ def select_in(
     return base[mask]
 
 
+#: Plan-time toggle for the adaptive build-side choice in
+#: :func:`hash_join`.  The planner ablation (``--no-planner``) turns it
+#: off, forcing the declared build side (hash the unique-key side), which
+#: is what every hand-written plan did before the cost-based planner.
+ADAPTIVE_JOINS = True
+
+#: Lifetime join decisions, scraped into benchmark/service stats.
+JOIN_STATS = {"joins": 0, "build_unique_side": 0, "build_many_side": 0}
+
+
+def set_adaptive_joins(flag: bool) -> bool:
+    """Toggle adaptive build-side choice; returns the previous setting."""
+    global ADAPTIVE_JOINS
+    previous = ADAPTIVE_JOINS
+    ADAPTIVE_JOINS = bool(flag)
+    return previous
+
+
+def hash_join(
+    unique_keys: np.ndarray,
+    unique_rows: np.ndarray,
+    many_keys: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """PK hash join with cost-based build-side choice.
+
+    *unique_keys* carries each key at most once (a primary key side);
+    *unique_rows* is any int64 payload aligned with it (row ids or
+    positions).  Returns ``(unique_payload, many_positions)`` matched
+    pairs ordered by the many side's position — the iteration order every
+    hand-written plan uses — so the output is identical no matter which
+    side was hashed.
+
+    With :data:`ADAPTIVE_JOINS` on, the smaller input is hashed: when the
+    many side (already filtered by earlier predicates) is smaller than
+    the unique side, hashing it avoids materialising a dictionary over
+    the large unique input and turns the join into a probe-by-scan of the
+    unique column.  The ablation always hashes the unique side.
+    """
+    JOIN_STATS["joins"] += 1
+    if ADAPTIVE_JOINS and len(many_keys) < len(unique_keys):
+        JOIN_STATS["build_many_side"] += 1
+        built: Dict[int, List[int]] = {}
+        for pos, key in enumerate(many_keys.tolist()):
+            bucket = built.get(key)
+            if bucket is None:
+                built[key] = [pos]
+            else:
+                bucket.append(pos)
+        out_u: List[int] = []
+        out_m: List[int] = []
+        get = built.get
+        for key, payload in zip(unique_keys.tolist(), unique_rows.tolist()):
+            positions = get(key)
+            if positions is not None:
+                for pos in positions:
+                    out_u.append(payload)
+                    out_m.append(pos)
+        many_pos = np.asarray(out_m, dtype=np.int64)
+        order = np.argsort(many_pos, kind="stable")
+        return np.asarray(out_u, dtype=np.int64)[order], many_pos[order]
+    JOIN_STATS["build_unique_side"] += 1
+    built_unique = dict(zip(unique_keys.tolist(), unique_rows.tolist()))
+    out_u = []
+    out_m = []
+    get = built_unique.get
+    for pos, key in enumerate(many_keys.tolist()):
+        payload = get(key)
+        if payload is not None:
+            out_u.append(payload)
+            out_m.append(pos)
+    return (
+        np.asarray(out_u, dtype=np.int64),
+        np.asarray(out_m, dtype=np.int64),
+    )
+
+
 def build_hash(keys: np.ndarray, row_ids: np.ndarray) -> Dict[int, List[int]]:
     """Build side of a hash join: key -> row ids (supports duplicates)."""
     table: Dict[int, List[int]] = {}

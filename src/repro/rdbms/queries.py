@@ -179,29 +179,29 @@ def q3(db: Database, params: Dict[str, Any]) -> PlanResult:
         (int(c) in cust_keys for c in ocust), dtype=bool, count=len(ocust)
     )
     orows = orows[sel]
-    order_info = {
-        int(k): (int(d), int(p))
-        for k, d, p in zip(
-            orders.column("orderkey", orows).tolist(),
-            orders.column("orderdate", orows).tolist(),
-            orders.column("shippriority", orows).tolist(),
-        )
-    }
+    qual_keys = orders.column("orderkey", orows)
+    qual_date = orders.column("orderdate", orows)
+    qual_prio = orders.column("shippriority", orows)
     # lineitem.shipdate > date via the clustered index.
     lrows = li.range_scan("shipdate", date, None, lo_open=True)
     lkeys = li.column("orderkey", lrows)
     price = li.column("extendedprice", lrows).astype(np.int64)
     disc = li.column("discount", lrows).astype(np.int64)
     revenue = price * (100 - disc)  # scale 4
+    opos, lpos = E.hash_join(qual_keys, np.arange(len(orows)), lkeys)
     groups: Dict[int, int] = {}
-    for k, rev in zip(lkeys.tolist(), revenue.tolist()):
-        if k in order_info:
-            groups[k] = groups.get(k, 0) + rev
+    info: Dict[int, Tuple[int, int]] = {}
+    for po, pl in zip(opos.tolist(), lpos.tolist()):
+        k = int(qual_keys[po])
+        if k not in groups:
+            groups[k] = 0
+            info[k] = (int(qual_date[po]), int(qual_prio[po]))
+        groups[k] += int(revenue[pl])
     out = [
         (
             k,
-            days_to_date(order_info[k][0]),
-            order_info[k][1],
+            days_to_date(info[k][0]),
+            info[k][1],
             Decimal(v).scaleb(-4),
         )
         for k, v in groups.items()
@@ -269,27 +269,24 @@ def q5(db: Database, params: Dict[str, Any]) -> PlanResult:
     lo = date_to_days(params["q5_date"])
     hi = date_to_days(params["q5_date_hi"])
     orows = orders.range_scan("orderdate", lo, hi, hi_open=True)
-    order_cust = dict(
-        zip(
-            orders.column("orderkey", orows).tolist(),
-            orders.column("custkey", orows).tolist(),
-        )
-    )
+    ocust = orders.column("custkey", orows)
     lkeys = li.column("orderkey")
     lsupp = li.column("suppkey")
     price = li.column("extendedprice").astype(np.int64)
     disc = li.column("discount").astype(np.int64)
+    opos, lpos = E.hash_join(
+        orders.column("orderkey", orows), np.arange(len(orows)), lkeys
+    )
     groups: Dict[int, int] = {}
-    for i in range(len(li)):
-        snat = supp_nation.get(int(lsupp[i]))
+    for po, pl in zip(opos.tolist(), lpos.tolist()):
+        snat = supp_nation.get(int(lsupp[pl]))
         if snat is None:
             continue
-        ck = order_cust.get(int(lkeys[i]))
-        if ck is None:
+        if cust_nation[int(ocust[po])] != snat:
             continue
-        if cust_nation[int(ck)] != snat:
-            continue
-        groups[snat] = groups.get(snat, 0) + int(price[i]) * (100 - int(disc[i]))
+        groups[snat] = groups.get(snat, 0) + int(price[pl]) * (
+            100 - int(disc[pl])
+        )
     out = [
         (nation_name[n], Decimal(v).scaleb(-4)) for n, v in groups.items()
     ]
@@ -409,25 +406,21 @@ def q10(db: Database, params: Dict[str, Any]) -> PlanResult:
     lo = date_to_days(params["q10_date"])
     hi = date_to_days(params["q10_date_hi"])
     orows = orders.range_scan("orderdate", lo, hi, hi_open=True)
-    order_cust = dict(
-        zip(
-            orders.column("orderkey", orows).tolist(),
-            orders.column("custkey", orows).tolist(),
-        )
-    )
+    ocust = orders.column("custkey", orows)
     flag_code = db["lineitem"].encode_value("returnflag", "R")
     lrows = E.select(li, None, "returnflag", "==", "R")
     del flag_code
     okey = li.column("orderkey", lrows)
     price = li.column("extendedprice", lrows).astype(np.int64)
     disc = li.column("discount", lrows).astype(np.int64)
+    opos, lpos = E.hash_join(
+        orders.column("orderkey", orows), np.arange(len(orows)), okey
+    )
     groups: Dict[int, int] = {}
-    for i in range(len(lrows)):
-        ck = order_cust.get(int(okey[i]))
-        if ck is None:
-            continue
-        groups[int(ck)] = groups.get(int(ck), 0) + int(price[i]) * (
-            100 - int(disc[i])
+    for po, pl in zip(opos.tolist(), lpos.tolist()):
+        ck = int(ocust[po])
+        groups[ck] = groups.get(ck, 0) + int(price[pl]) * (
+            100 - int(disc[pl])
         )
     out = []
     for ck, v in groups.items():
@@ -439,12 +432,6 @@ def q10(db: Database, params: Dict[str, Any]) -> PlanResult:
 
 def q12(db: Database, params: Dict[str, Any]) -> PlanResult:
     orders, li = db["orders"], db["lineitem"]
-    order_prio = dict(
-        zip(
-            orders.column("orderkey").tolist(),
-            orders.column("orderpriority").tolist(),
-        )
-    )
     high_codes = {
         orders.encode_value("orderpriority", p) for p in ("1-URGENT", "2-HIGH")
     }
@@ -461,10 +448,17 @@ def q12(db: Database, params: Dict[str, Any]) -> PlanResult:
     rows = rows[mask]
     modes = li.column("shipmode", rows)
     okeys = li.column("orderkey", rows)
+    # The join against the full orders table is where the adaptive build
+    # side pays: the filtered lineitem side is far smaller, so hashing it
+    # and streaming the orders column beats building an all-orders dict.
+    all_prio = orders.column("orderpriority")
+    opos, lpos = E.hash_join(
+        orders.column("orderkey"), np.arange(len(orders)), okeys
+    )
     groups: Dict[int, list] = {}
-    for i in range(len(rows)):
-        prio = order_prio[int(okeys[i])]
-        acc = groups.setdefault(int(modes[i]), [0, 0])
+    for po, pl in zip(opos.tolist(), lpos.tolist()):
+        prio = int(all_prio[po])
+        acc = groups.setdefault(int(modes[pl]), [0, 0])
         if prio in high_codes:
             acc[0] += 1
         else:

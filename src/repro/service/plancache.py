@@ -7,28 +7,54 @@ hit skips plan construction entirely, and because the underlying
 ``Query.signature()`` is stable, repeated compiles across sessions also
 hit ``repro.query.compiler._CACHE``.  Hit/miss counters feed the
 service metrics registry.
+
+Plans built by the cost-based planner embed statistics decisions —
+predicate order, access path, morsel width — that go stale as the store
+mutates.  Each cached plan therefore carries the coarse **stats
+fingerprint** (per-collection block count and log2 dictionary-cardinality
+bucket, computed by the service per request) it was planned under; a
+lookup whose fingerprint drifted evicts the entry and rebuilds, counted
+by ``smc_plancache_stale_evictions_total``.
+
+The cache is also a governor tenant: plans are charged a nominal byte
+cost and evicted oldest-first when the installed budget shrinks below
+the held total.
 """
 
 from __future__ import annotations
 
 import threading
-from typing import Any, Callable, Dict, Tuple
+from typing import Any, Callable, Dict, Optional, Tuple
 
 PlanKey = Tuple[str, str, str, str]
 
+#: Nominal bytes charged per cached plan.  Plans are small object graphs
+#: (expression trees + compiled-function references) whose true footprint
+#: is unmeasurable without walking them; a flat charge keeps the governor
+#: arithmetic honest about *count* pressure, which is what matters here.
+NOMINAL_PLAN_BYTES = 8192
+
 
 class PlanCache:
-    def __init__(self, metrics=None) -> None:
+    def __init__(self, metrics=None, budget_bytes: Optional[int] = None) -> None:
         self._lock = threading.Lock()
         self._plans: Dict[PlanKey, Any] = {}
+        self._fingerprints: Dict[PlanKey, Any] = {}
+        self._budget = budget_bytes
         self._hits = 0
         self._misses = 0
+        self.stale_evictions = 0
+        self.capacity_evictions = 0
         if metrics is not None:
             self._hit_counter = metrics.counter(
                 "service_plan_cache_hits_total", "Prepared-plan cache hits"
             )
             self._miss_counter = metrics.counter(
                 "service_plan_cache_misses_total", "Prepared-plan cache misses"
+            )
+            self._stale_counter = metrics.counter(
+                "smc_plancache_stale_evictions_total",
+                "Plans evicted because their stats fingerprint drifted",
             )
             metrics.gauge(
                 "service_plan_cache_size",
@@ -37,6 +63,7 @@ class PlanCache:
             )
         else:
             self._hit_counter = self._miss_counter = None
+            self._stale_counter = None
 
     @staticmethod
     def key_for(
@@ -44,14 +71,39 @@ class PlanCache:
     ) -> PlanKey:
         return (query_name, layout, encoding, engine)
 
-    def get_or_build(self, key: PlanKey, build: Callable[[], Any]) -> Any:
+    def _evict_to_budget_locked(self) -> None:
+        if self._budget is None:
+            return
+        limit = max(1, self._budget // NOMINAL_PLAN_BYTES)
+        while len(self._plans) > limit:
+            oldest = next(iter(self._plans))
+            del self._plans[oldest]
+            self._fingerprints.pop(oldest, None)
+            self.capacity_evictions += 1
+
+    def get_or_build(
+        self,
+        key: PlanKey,
+        build: Callable[[], Any],
+        fingerprint: Any = None,
+    ) -> Any:
+        stale = False
         with self._lock:
             plan = self._plans.get(key)
+            if plan is not None and fingerprint is not None:
+                if self._fingerprints.get(key) != fingerprint:
+                    del self._plans[key]
+                    self._fingerprints.pop(key, None)
+                    self.stale_evictions += 1
+                    stale = True
+                    plan = None
             if plan is not None:
                 self._hits += 1
                 hit = True
             else:
                 hit = False
+        if stale and self._stale_counter is not None:
+            self._stale_counter.inc(query=key[0])
         if hit:
             if self._hit_counter is not None:
                 self._hit_counter.inc(query=key[0])
@@ -62,7 +114,10 @@ class PlanCache:
         plan = build()
         with self._lock:
             self._plans[key] = plan
+            if fingerprint is not None:
+                self._fingerprints[key] = fingerprint
             self._misses += 1
+            self._evict_to_budget_locked()
         if self._miss_counter is not None:
             self._miss_counter.inc(query=key[0])
         return plan
@@ -70,6 +125,22 @@ class PlanCache:
     def invalidate(self) -> None:
         with self._lock:
             self._plans.clear()
+            self._fingerprints.clear()
+
+    # -- governor tenant hooks ------------------------------------------
+
+    def usage_bytes(self) -> int:
+        with self._lock:
+            return len(self._plans) * NOMINAL_PLAN_BYTES
+
+    def set_budget(self, budget: Optional[int]) -> None:
+        with self._lock:
+            self._budget = budget
+            self._evict_to_budget_locked()
+
+    def counters(self) -> Tuple[int, int]:
+        with self._lock:
+            return self._hits, self._misses
 
     @property
     def size(self) -> int:
@@ -82,4 +153,6 @@ class PlanCache:
                 "hits": self._hits,
                 "misses": self._misses,
                 "size": len(self._plans),
+                "stale_evictions": self.stale_evictions,
+                "capacity_evictions": self.capacity_evictions,
             }

@@ -140,6 +140,8 @@ class QueryService:
         store=None,
         replication=None,
         exec_workers: int = 0,
+        governor_budget: Optional[int] = None,
+        planner: bool = True,
     ) -> None:
         self.collections = {
             k: v for k, v in collections.items() if not k.startswith("_")
@@ -203,7 +205,67 @@ class QueryService:
         self._latency = self.metrics.histogram(
             "service_request_seconds", "Request handling latency, by op"
         )
+        self._routed_small = self.metrics.counter(
+            "smc_serve_small_scans_routed_total",
+            "Multi-worker requests routed to one worker by estimated rows",
+        )
         self.churn: Optional[ChurnMutator] = None
+        #: Server-side default for cost-based planning; per-request
+        #: ``planner`` flags override it (and key the plan cache).
+        self.planner_enabled = bool(planner)
+        from repro.rdbms import engine as _rdbms_engine
+
+        _rdbms_engine.set_adaptive_joins(self.planner_enabled)
+        #: Unified memory governor over the service's caches.  One byte
+        #: budget is split across the plan cache, the collections'
+        #: string-dictionary match caches and the WAL group-commit
+        #: buffer, rebalanced from live hit/miss counters.
+        self.governor = None
+        if governor_budget:
+            from repro.memory.governor import MemoryGovernor
+
+            self.governor = MemoryGovernor(
+                int(governor_budget), self.metrics
+            )
+            self.governor.register(
+                "plan_cache",
+                usage=self.plans.usage_bytes,
+                counters=self.plans.counters,
+                set_budget=self.plans.set_budget,
+            )
+            dicts = [
+                sd
+                for coll in self.collections.values()
+                if (sd := getattr(coll, "strdict", None)) is not None
+            ]
+            if dicts:
+                self.governor.register(
+                    "string_dicts",
+                    usage=lambda: sum(d.cache_bytes for d in dicts),
+                    counters=lambda: (
+                        sum(d.match_hits for d in dicts),
+                        sum(d.match_misses for d in dicts),
+                    ),
+                    set_budget=lambda n: [
+                        d.set_match_budget(max(1, n // len(dicts)))
+                        for d in dicts
+                    ],
+                    weight=2.0,
+                )
+            if store is not None:
+                # ``store.wal`` is re-read per call: checkpoints roll the
+                # segment, and the new segment must inherit the ceiling.
+                self.governor.register(
+                    "wal_buffer",
+                    usage=lambda: self.store.wal.buffered_bytes,
+                    counters=lambda: (
+                        self.store.wal.buffered_records,
+                        self.store.wal.buffer_capacity_flushes,
+                    ),
+                    set_budget=lambda n: self.store.wal.set_buffer_capacity(
+                        n
+                    ),
+                )
 
     # -- fleet role ----------------------------------------------------
 
@@ -230,6 +292,26 @@ class QueryService:
 
     def _encoding(self) -> str:
         return "dict" if getattr(self.manager, "string_dict", False) else "plain"
+
+    def _stats_fingerprint(self) -> tuple:
+        """Coarse store-statistics fingerprint for plan-cache staleness.
+
+        Per collection: block count plus the log2 bucket of the string
+        dictionary's live cardinality.  Cheap to compute per request and
+        exactly coarse enough that steady-state churn (slot reuse inside
+        existing blocks, refcount traffic on existing strings) leaves it
+        unchanged while real growth — new blocks, a cardinality
+        doubling — evicts the plans whose statistics it invalidates.
+        """
+        parts = []
+        for name in sorted(self.collections):
+            coll = self.collections[name]
+            ctx = getattr(coll, "context", None)
+            blocks = ctx.block_count() if ctx is not None else 0
+            sd = getattr(coll, "strdict", None)
+            card = sd.live_count if sd is not None else 0
+            parts.append((name, blocks, int(card).bit_length()))
+        return tuple(parts)
 
     # -- churn ---------------------------------------------------------
 
@@ -258,6 +340,8 @@ class QueryService:
                 response = {"ok": True, "pong": True}
             elif op == "query":
                 response = self._op_query(message)
+            elif op == "explain":
+                response = self._op_explain(message)
             elif op == "mutate":
                 response = self._op_mutate(message)
             elif op == "replicate":
@@ -275,7 +359,10 @@ class QueryService:
                         self.manager.telemetry()
                     ),
                     "plan_cache": self.plans.stats(),
+                    "planner": self.planner_enabled,
                 }
+                if self.governor is not None:
+                    response["governor"] = self.governor.snapshot()
             else:
                 response = {
                     "ok": False,
@@ -386,13 +473,32 @@ class QueryService:
         # Stamp the watermark *before* execution: the data read is
         # guaranteed to reflect at least this LSN, never less.
         lsn_at_start = self._current_lsn()
-        engine_key = f"{engine}:{flavor or ''}:w{workers}:p{int(prune)}"
+        use_planner = bool(message.get("planner", self.planner_enabled))
+        engine_key = (
+            f"{engine}:{flavor or ''}:w{workers}:p{int(prune)}"
+            f":pl{int(use_planner)}"
+        )
         key = PlanCache.key_for(
             str(name), self._layout(), self._encoding(), engine_key
         )
+        # Planned plans embed statistics decisions; key them under the
+        # store's coarse stats fingerprint so drift evicts them.
+        fingerprint = self._stats_fingerprint() if use_planner else None
         plan = self.plans.get_or_build(
-            key, lambda: builder(self.collections)
+            key, lambda: builder(self.collections), fingerprint=fingerprint
         )
+
+        # Serve-path worker routing: a query the planner estimates to
+        # touch only a handful of rows is not worth a parallel fan-out —
+        # run it on one worker and leave the pool to the big scans.
+        effective_workers = workers
+        if use_planner and workers > 1:
+            from repro.query import planner as _planner
+
+            est = _planner.estimate_query_rows(plan, params)
+            effective_workers = _planner.route_workers(est, workers)
+            if effective_workers != workers:
+                self._routed_small.inc(query=str(name))
 
         self.admission.acquire(queue_class)
         try:
@@ -404,8 +510,9 @@ class QueryService:
                     engine=engine,
                     params=params,
                     flavor=flavor,
-                    workers=workers,
+                    workers=effective_workers,
                     prune=prune,
+                    planner=use_planner,
                 )
                 elapsed_ms = (time.perf_counter() - start) * 1000
             finally:
@@ -413,6 +520,8 @@ class QueryService:
                     session.exit()
         finally:
             self.admission.release()
+        if self.governor is not None:
+            self.governor.maybe_rebalance()
         return {
             "ok": True,
             "columns": list(result.columns),
@@ -420,6 +529,30 @@ class QueryService:
             "elapsed_ms": elapsed_ms,
             "lsn": lsn_at_start,
         }
+
+    def _op_explain(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        """EXPLAIN surface: the planner's view of a query, no execution."""
+        from repro.tpch.queries import DEFAULT_PARAMS, EXTRA_QUERIES, QUERIES
+
+        name = message.get("query")
+        builder = QUERIES.get(name) or EXTRA_QUERIES.get(name)
+        if builder is None:
+            known = sorted(QUERIES) + sorted(EXTRA_QUERIES)
+            return {
+                "ok": False,
+                "error": "BAD_REQUEST",
+                "detail": f"unknown query {name!r}; choose from {known}",
+            }
+        use_planner = bool(message.get("planner", self.planner_enabled))
+        params = dict(DEFAULT_PARAMS)
+        overrides = message.get("params")
+        if overrides:
+            params.update(protocol.decode_value(overrides))
+        query = builder(self.collections)
+        text = query.explain(
+            flavor=message.get("flavor"), params=params, planner=use_planner
+        )
+        return {"ok": True, "query": str(name), "text": text}
 
     def _op_mutate(self, message: Dict[str, Any]) -> Dict[str, Any]:
         from repro.durability import MutationError

@@ -175,7 +175,13 @@ def test_plan_cache_hits_and_misses():
     b = cache.get_or_build(key, build)
     assert a is b
     assert len(built) == 1
-    assert cache.stats() == {"hits": 1, "misses": 1, "size": 1}
+    assert cache.stats() == {
+        "hits": 1,
+        "misses": 1,
+        "size": 1,
+        "stale_evictions": 0,
+        "capacity_evictions": 0,
+    }
     other = PlanCache.key_for("q1", "columnar", "dict", "compiled")
     cache.get_or_build(other, build)
     assert cache.stats()["size"] == 2
