@@ -68,16 +68,40 @@ def _cmd_info(args: argparse.Namespace) -> int:
     from repro.io.snapshot import load_collections
 
     collections = load_collections(
-        args.snapshot, columnar=args.columnar, string_dict=not args.no_dict
+        args.snapshot,
+        columnar=args.columnar,
+        string_dict=not args.no_dict,
+        memory_budget=args.memory_budget,
+        block_shift=args.block_shift,
     )
     manager = collections.pop("_manager")
+    if manager.pager is not None:
+        # Enforce the budget once so the residency report reflects it
+        # (loading leaves every block hot; demotion is operation-boundary
+        # work).
+        manager.pager.maintain()
+    residency = (
+        manager.pager.residency_by_context()
+        if manager.pager is not None
+        else None
+    )
     print(f"snapshot {args.snapshot}:")
     for name, coll in collections.items():
-        print(
+        line = (
             f"  {name:<12} {len(coll):>9} rows   "
             f"{coll.context.block_count():>4} blocks   "
             f"{coll.memory_bytes() / 2**20:8.1f} MiB"
         )
+        if residency is not None:
+            tiers = residency.get(
+                coll.context.context_id, {"hot": 0, "cold": 0}
+            )
+            tier_mib = tiers["cold"] * manager.space.block_size / 2**20
+            line += (
+                f"   hot {tiers['hot']:>4}  cold {tiers['cold']:>4}"
+                f"  tier {tier_mib:6.1f} MiB"
+            )
+        print(line)
     print()
     print(manager.describe())
     # Live telemetry through the service metrics registry: the same
@@ -105,6 +129,16 @@ def _cmd_info(args: argparse.Namespace) -> int:
             f"{name}={n}" for name, n in sorted(tel["string_dicts"].items())
         )
         print(f"  string dictionaries: {counts}")
+    if tel.get("tier"):
+        t = tel["tier"]
+        print(
+            f"  tier: budget {t['budget_bytes'] / 2**20:.1f} MiB, "
+            f"{t['hot_blocks']} hot / {t['cooling_blocks']} cooling / "
+            f"{t['cold_blocks']} cold blocks, "
+            f"tier file {t['tier_file_bytes'] / 2**20:.1f} MiB, "
+            f"{t['faults']} faults, {t['evictions']} evictions, "
+            f"{t['spills']} spills"
+        )
     if args.metrics:
         print()
         print(registry.expose(), end="")
@@ -155,6 +189,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         # shared-memory serving is snapshot-only for now.
         print(
             "--shm/--exec-workers serve a snapshot in memory and cannot "
+            "be combined with --data-dir or --replica-of",
+            file=sys.stderr,
+        )
+        return 2
+    if args.memory_budget and (args.data_dir or args.replica_of):
+        # Same constraint: the pager shapes the manager at load time.
+        print(
+            "--memory-budget serves a snapshot under a pager and cannot "
             "be combined with --data-dir or --replica-of",
             file=sys.stderr,
         )
@@ -242,6 +284,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             columnar=args.columnar,
             string_dict=not args.no_dict,
             shm=use_shm,
+            memory_budget=args.memory_budget,
         )
         manager = collections["_manager"]
         source = args.snapshot
@@ -269,6 +312,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         + (", churn on" if args.churn else "")
         + (f", exec_workers={exec_workers}" if exec_workers else "")
         + (", shm" if use_shm else "")
+        + (
+            f", memory_budget={args.memory_budget}"
+            if args.memory_budget
+            else ""
+        )
         + (f", replica of {args.replica_of}" if replication else "")
         + (", durable" if store is not None and not replication else "")
         + ")"
@@ -514,6 +562,22 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also print the Prometheus-format metrics exposition",
     )
+    info.add_argument(
+        "--memory-budget",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="load under a pager with this hot-tier byte budget and "
+        "report per-collection residency (hot/cold blocks, tier bytes)",
+    )
+    info.add_argument(
+        "--block-shift",
+        type=int,
+        default=None,
+        metavar="N",
+        help="log2 block size for the fresh manager (smaller blocks make "
+        "residency visible on small snapshots)",
+    )
     info.set_defaults(fn=_cmd_info)
 
     serve = sub.add_parser(
@@ -578,6 +642,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="route eligible parallel reads through N scan worker "
         "processes attached to the shared block pool ('auto' = CPU "
         "count; implies --shm)",
+    )
+    serve.add_argument(
+        "--memory-budget",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="hot-tier byte budget for the block pool: a pager demotes "
+        "cold blocks to a file-backed tier and faults them back on "
+        "access (snapshot serving only)",
     )
     serve.add_argument(
         "--governor-budget",

@@ -240,6 +240,10 @@ class Collection:
         try:
             address = ref.address()  # raises NullReferenceError if gone
             block = self.manager.space.block_at(address)
+            if self.manager.pager is not None:
+                # release_owned writes tombstones into the slot; a cold
+                # block's buffer is a read-only tier mapping.
+                self.manager.pager.ensure_hot(block)
             off = self.manager.space.offset_of(address)
             self.layout.release_owned(block.buf, off, self.manager)
             self.manager.free_object(ref)

@@ -140,6 +140,13 @@ class ColumnarBlock:
         "compaction_group",
         "zones",
         "zone_version",
+        "residency",
+        "pin_count",
+        "tier_dirty",
+        "tier_offset",
+        "read_clock",
+        "cool_epoch",
+        "_view_spec",
     )
 
     def __init__(
@@ -180,18 +187,12 @@ class ColumnarBlock:
         _HEADER_STRUCT.pack_into(
             self.buf, 0, type_id, context_id, n, layout.slot_size, KIND_COLUMNAR
         )
-        mv = memoryview(self.buf)
-        self.columns: Dict[str, np.ndarray] = {
-            name: np.frombuffer(mv, dtype=dt, count=n, offset=off)
-            for name, dt, off in cols
-        }
+        self._view_spec = (cols, dir_off, bp_off, inc_off)
+        self._bind_views()
         for f in layout.fields:
             if isinstance(f, RefField):
                 self.columns[f.name + "__w"].fill(NULL_ADDRESS)
-        self.directory = np.frombuffer(mv, dtype=np.uint32, count=n, offset=dir_off)
-        self.backptrs = np.frombuffer(mv, dtype=np.int64, count=n, offset=bp_off)
         self.backptrs.fill(-1)
-        self.slot_incs = np.frombuffer(mv, dtype=np.uint32, count=n, offset=inc_off)
         self.valid_count = 0
         self.limbo_count = 0
         self.alloc_cursor = 0
@@ -203,6 +204,30 @@ class ColumnarBlock:
         self.compaction_group = None
         self.zones = None
         self.zone_version = 0
+        # --- memory tiering (repro.memory.pager); see Block -------------
+        self.residency = "hot"
+        self.pin_count = 0
+        self.tier_dirty = False
+        self.tier_offset = -1
+        self.read_clock = 0
+        self.cool_epoch = -1
+
+    def _bind_views(self) -> None:
+        """(Re)build column and metadata views over the current ``buf``.
+
+        Write-free, so the pager can call it over a read-only cold
+        mapping; see :meth:`repro.memory.block.Block._bind_views`.
+        """
+        cols, dir_off, bp_off, inc_off = self._view_spec
+        n = self.slot_count
+        mv = memoryview(self.buf)
+        self.columns: Dict[str, np.ndarray] = {
+            name: np.frombuffer(mv, dtype=dt, count=n, offset=off)
+            for name, dt, off in cols
+        }
+        self.directory = np.frombuffer(mv, dtype=np.uint32, count=n, offset=dir_off)
+        self.backptrs = np.frombuffer(mv, dtype=np.int64, count=n, offset=bp_off)
+        self.slot_incs = np.frombuffer(mv, dtype=np.uint32, count=n, offset=inc_off)
 
     # -- address arithmetic: offset part IS the slot id ------------------
 
@@ -378,6 +403,9 @@ class ColumnarHandle:
         epochs.enter_critical_section()
         try:
             block, slot = self._locate()
+            pager = collection.manager.pager
+            if pager is not None:
+                pager.ensure_hot(block)  # writable columns; cancels cooling
             collection._write_field(block, slot, field, value)
             if _zonemap.is_zoned(field):
                 block.zone_version += 1  # invalidate the zone map
@@ -506,6 +534,9 @@ class ColumnarCollection(Collection):
             address = ref.address()
             block = self.manager.space.block_at(address)
             slot = block.slot_of_address(address)
+            pager = self.manager.pager
+            if pager is not None:
+                pager.ensure_hot(block)  # the column zeroing below writes
             sd = self.strdict
             for field in self.layout.var_fields:
                 raw = int(block.columns[field.name][slot])

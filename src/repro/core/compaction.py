@@ -263,6 +263,15 @@ class Compactor:
         ]
         if not candidates:
             return []
+        pager = self.manager.pager
+        if pager is not None:
+            # Relocation moves slots to LIMBO and the retirement path
+            # scrubs the directory — both writes.  Promoting at claim
+            # time also cancels any in-flight cooling, so the pager and
+            # the compactor never both own a block: ``compacting`` (set
+            # by the claim above) bars demotion until the group settles.
+            for block in candidates:
+                pager.ensure_hot(block)
         groups: List[CompactionGroup] = []
         bucket: List["Block"] = []
         survivors = 0
@@ -819,6 +828,10 @@ class Compactor:
                         new_block = space.block_at(new_addr)
                         new_slot = new_block.slot_of_address(new_addr)
                         new_inc = int(new_block.slot_incs[new_slot]) & INC_MASK
+                        if manager.pager is not None:
+                            # The referrer block takes an in-place pointer
+                            # rewrite; promote it (and dirty its image).
+                            manager.pager.ensure_hot(block)
                         f.encode_words(block.buf, off, new_addr, new_inc)
                         rewritten += 1
         return rewritten

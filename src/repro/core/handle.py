@@ -113,6 +113,11 @@ class Handle:
         try:
             address = self._ref.address()
             block = manager.space.block_at(address)
+            if manager.pager is not None:
+                # Promote (and mark dirty) before touching the buffer;
+                # inside the critical section, so demotion cannot race
+                # the write (repro.memory.pager).
+                manager.pager.ensure_hot(block)
             off = manager.space.offset_of(address)
             if isinstance(field, RefField):
                 pair = collection._ref_words(field, value)
@@ -211,7 +216,13 @@ def resolve_direct_pointer(
             new_slot = new_block.slot_of_address(new_address)
             new_inc = int(new_block.slot_incs[new_slot]) & INC_MASK
             if src_buf is not None and field is not None and src_off is not None:
-                field.encode_words(src_buf, src_off, new_address, new_inc)
+                try:
+                    field.encode_words(src_buf, src_off, new_address, new_inc)
+                except (TypeError, ValueError):
+                    # Healing is an optimisation; a cold (read-only
+                    # mapped) source block simply keeps its tombstone
+                    # pointer until a real write promotes it.
+                    pass
             address, inc = new_address, new_inc
             hops += 1
             if hops > 64:

@@ -196,6 +196,8 @@ def load_collections(
     columnar: bool = False,
     string_dict: bool = True,
     shm: bool = False,
+    memory_budget: Optional[int] = None,
+    block_shift: Optional[int] = None,
 ) -> Dict[str, Any]:
     """Load a snapshot into fresh collections on *manager*.
 
@@ -203,11 +205,19 @@ def load_collections(
     resolved by name through the schema registry and validated against
     the stored field specification.  Snapshots store decoded text, so a
     file written with dictionary encoding on reloads fine with it off
-    (and vice versa); ``string_dict`` and ``shm`` (shared-memory block
-    buffers, for the process executor) only shape the fresh manager and
-    are ignored when an explicit *manager* is supplied.
+    (and vice versa); ``string_dict``, ``shm`` (shared-memory block
+    buffers, for the process executor), ``memory_budget`` (attach a
+    pager keeping the block pool under a byte budget) and ``block_shift``
+    (log2 block size) only shape the fresh manager and are ignored when
+    an explicit *manager* is supplied.
     """
-    manager = manager or MemoryManager(string_dict=string_dict, shm=shm)
+    if manager is None:
+        kwargs: Dict[str, Any] = dict(
+            string_dict=string_dict, shm=shm, memory_budget=memory_budget
+        )
+        if block_shift is not None:
+            kwargs["block_shift"] = block_shift
+        manager = MemoryManager(**kwargs)
     factory = ColumnarCollection if columnar else Collection
     # Tabular classes are resolved by name: user-defined classes must be
     # imported before loading.  The built-in TPC-H schema registers here

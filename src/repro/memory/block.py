@@ -80,6 +80,14 @@ class Block:
         "compaction_group",
         "zones",
         "zone_version",
+        "residency",
+        "pin_count",
+        "tier_dirty",
+        "tier_offset",
+        "read_clock",
+        "cool_epoch",
+        "_dir_offset",
+        "_bp_offset",
     )
 
     def __init__(
@@ -134,19 +142,10 @@ class Block:
             self.buf, 0, type_id, context_id, slot_count, slot_size, KIND_ROW
         )
 
-        mv = memoryview(self.buf)
-        self.directory = np.frombuffer(mv, dtype=np.uint32, count=slot_count, offset=dir_offset)
-        self.backptrs = np.frombuffer(mv, dtype=np.int64, count=slot_count, offset=bp_offset)
+        self._dir_offset = dir_offset
+        self._bp_offset = bp_offset
+        self._bind_views()
         self.backptrs.fill(-1)
-        # Strided view over the first 4 bytes of every slot: the incarnation
-        # word of the slot header (authoritative in direct-pointer mode).
-        self.slot_incs = np.ndarray(
-            shape=(slot_count,),
-            dtype=np.uint32,
-            buffer=mv,
-            offset=self.object_offset,
-            strides=(slot_size,),
-        )
 
         self.valid_count = 0
         self.limbo_count = 0
@@ -172,6 +171,51 @@ class Block:
         #: and zoned-field update.
         self.zones = None
         self.zone_version = 0
+        # --- memory tiering (repro.memory.pager) ---
+        #: ``"hot"`` (writable buffer from the space's allocation policy),
+        #: ``"cooling"`` (chosen for demotion, grace period running) or
+        #: ``"cold"`` (read-only mmap of a tier-file region).  Every write
+        #: path promotes through ``Pager.ensure_hot`` first; a stray write
+        #: to a cold block raises (the views are read-only) instead of
+        #: corrupting the spilled image.
+        self.residency = "hot"
+        #: Explicit pin count (scan admission / tests); pinned blocks are
+        #: never chosen for demotion, independent of the epoch argument.
+        self.pin_count = 0
+        #: True when the hot bytes may differ from the spilled tier image.
+        self.tier_dirty = False
+        #: Byte offset of this block's region in the tier file (-1: none).
+        self.tier_offset = -1
+        #: Clock-replacement reference counter, bumped on scan admission.
+        self.read_clock = 0
+        #: Epoch at which cooling started (-1 while not cooling).
+        self.cool_epoch = -1
+
+    def _bind_views(self) -> None:
+        """(Re)build the NumPy views over the current ``self.buf``.
+
+        Called at construction and by the pager whenever the backing
+        buffer is swapped (demotion to a read-only tier mapping, or
+        promotion back into a writable segment).  Performs no writes, so
+        it is safe over a read-only cold mapping — the resulting arrays
+        simply come out non-writable.
+        """
+        mv = memoryview(self.buf)
+        self.directory = np.frombuffer(
+            mv, dtype=np.uint32, count=self.slot_count, offset=self._dir_offset
+        )
+        self.backptrs = np.frombuffer(
+            mv, dtype=np.int64, count=self.slot_count, offset=self._bp_offset
+        )
+        # Strided view over the first 4 bytes of every slot: the incarnation
+        # word of the slot header (authoritative in direct-pointer mode).
+        self.slot_incs = np.ndarray(
+            shape=(self.slot_count,),
+            dtype=np.uint32,
+            buffer=mv,
+            offset=self.object_offset,
+            strides=(self.slot_size,),
+        )
 
     # ------------------------------------------------------------------
     # Address arithmetic
@@ -301,6 +345,8 @@ class Block:
         """
         if self.valid_count:
             raise ValueError("cannot reset a block with live objects")
+        if self.residency != "hot":
+            raise ValueError("cannot reset a non-resident block")
         self.type_id = type_id
         self.context_id = context_id
         _HEADER_STRUCT.pack_into(
@@ -320,6 +366,11 @@ class Block:
         self.compaction_group = None
         self.zones = None
         self.zone_version = 0
+        self.pin_count = 0
+        self.tier_dirty = False
+        self.tier_offset = -1
+        self.read_clock = 0
+        self.cool_epoch = -1
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -118,6 +118,13 @@ class MemoryContext:
             block = self._reclaim.pop_ready(epochs.global_epoch)
             if block is not None:
                 block.alloc_cursor = 0
+                # An adopted block is about to take in-place writes that
+                # bypass the per-object write hooks; if it was ever
+                # spilled, its tier image goes stale now.  (The frees
+                # that queued it already marked it dirty — this is the
+                # defensive restatement of that invariant.)
+                if block.tier_offset >= 0:
+                    block.tier_dirty = True
                 manager.stats.blocks_recycled += 1
             else:
                 block = manager._acquire_block(self)
@@ -215,7 +222,11 @@ class MemoryContext:
             blocks = list(self._blocks)
             self._blocks.clear()
         for block in blocks:
-            block.directory.fill(0)
+            if block.residency == "hot":
+                block.directory.fill(0)
+            # Cold blocks skip the scrub: their directory view is a
+            # read-only tier mapping, and a paged manager releases the
+            # block (and its tier region) outright instead of pooling it.
             block.valid_count = 0
             block.limbo_count = 0
             self.manager._release_block(block)

@@ -147,6 +147,21 @@ class MemoryGovernor:
             self._tenants[name] = tenant
         self.rebalance()
 
+    def unregister(self, name: str) -> None:
+        """Remove a tenant and re-split the budget over the survivors.
+
+        The departing tenant keeps whatever ceiling it last held (it is
+        about to be torn down anyway); the survivors immediately reclaim
+        its slice via the re-split, and every survivor's new share is at
+        least its floor — the floors only grow when the population
+        shrinks, so an unregister can never starve anyone.
+        """
+        with self._lock:
+            if name not in self._tenants:
+                raise KeyError(f"governor tenant {name!r} is not registered")
+            del self._tenants[name]
+        self.rebalance()
+
     # -- rebalancing -----------------------------------------------------
 
     def maybe_rebalance(self) -> bool:

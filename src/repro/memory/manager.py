@@ -80,6 +80,7 @@ class MemoryManager:
         direct_pointers: bool = False,
         string_dict: bool = True,
         shm: bool = False,
+        memory_budget: Optional[int] = None,
     ) -> None:
         if not 0.0 <= reclamation_threshold <= 1.0:
             raise ValueError("reclamation_threshold must be within [0, 1]")
@@ -92,8 +93,22 @@ class MemoryManager:
             from repro.memory.shm import SharedBuffers
 
             buffers = SharedBuffers()
+        #: Hot-tier byte budget for the block pool.  When set, the block
+        #: pool is paged: blocks exceeding the budget are demoted to a
+        #: tier file and faulted back on access (``repro.memory.pager``).
+        self.memory_budget = memory_budget
+        if memory_budget is not None:
+            from repro.memory.pager import TieredBuffers
+
+            buffers = TieredBuffers(inner=buffers)
         self.space = AddressSpace(block_shift, buffers=buffers)
         self.epochs = EpochManager()
+        #: The pager governing block residency, or None when unbudgeted.
+        self.pager = None
+        if memory_budget is not None:
+            from repro.memory.pager import Pager
+
+            self.pager = Pager(self, memory_budget)
         self.table = IndirectionTable()
         self.strings = StringHeap(self.space, self.epochs)
         #: Dictionary-encode varstring columns: collections intern distinct
@@ -166,7 +181,10 @@ class MemoryManager:
             # Columnar (and other custom) contexts build their own blocks;
             # those are not pooled across types.
             self.stats.blocks_allocated += 1
-            return factory()
+            block = factory()
+            if self.pager is not None:
+                self.pager.track(block)
+            return block
         with self._pool_lock:
             pool = self._pool.get(context.slot_size)
             block = pool.pop() if pool else None
@@ -175,14 +193,26 @@ class MemoryManager:
             self.stats.blocks_pooled += 1
             return block
         self.stats.blocks_allocated += 1
-        return Block(self.space, context.slot_size, context.type_id, context.context_id)
+        block = Block(
+            self.space, context.slot_size, context.type_id, context.context_id
+        )
+        if self.pager is not None:
+            self.pager.track(block)
+        return block
 
     def _release_block(self, block) -> None:
         """Return an emptied block to the pool for reuse by any type.
 
         Only row blocks are pooled; custom block kinds (columnar) release
-        their address range immediately.
+        their address range immediately.  Under a memory budget nothing
+        is pooled: a pooled block would hold hot bytes invisible to the
+        pager's accounting, so paged managers release buffers (and the
+        block's tier region, if any) outright.
         """
+        if self.pager is not None:
+            self.pager.untrack(block)
+            block.release()
+            return
         if not isinstance(block, Block):
             block.release()
             return
@@ -267,6 +297,11 @@ class MemoryManager:
         address = table.address_of(entry)
         block: Block = self.space.block_at(address)  # type: ignore[assignment]
         slot = block.slot_of_address(address)
+        if self.pager is not None:
+            # The slot-header and directory writes below need a writable
+            # buffer; promotion also cancels any in-flight cooling so the
+            # demotion grace argument covers this free.
+            self.pager.ensure_hot(block)
         # Slot-header incarnation protects direct pointers (section 6).
         block.slot_incs[slot] = (int(block.slot_incs[slot]) + 1) & 0xFFFFFFFF
         # The entry's pointer stays intact: a concurrent reader that passed
@@ -384,6 +419,17 @@ class MemoryManager:
                 )
                 else ""
             ),
+            *(
+                [
+                    f"  tier: {t['hot_blocks']} hot / {t['cooling_blocks']} "
+                    f"cooling / {t['cold_blocks']} cold blocks, budget "
+                    f"{t['budget_bytes'] / 2**20:.1f} MiB, "
+                    f"{t['faults']} faults, {t['evictions']} evictions, "
+                    f"{t['spills']} spills"
+                ]
+                if (t := self.pager.telemetry() if self.pager else None)
+                else []
+            ),
             f"  stats: {self.stats.allocations} allocs, {self.stats.frees} "
             f"frees, {self.stats.limbo_reuses} limbo reuses, "
             f"{self.stats.blocks_recycled} blocks recycled, "
@@ -411,21 +457,28 @@ class MemoryManager:
         ``contexts`` list and a ``string_dicts`` map.
         """
         contexts = []
+        residency = (
+            self.pager.residency_by_context() if self.pager is not None else {}
+        )
         for context in self._contexts:
             blocks = context.blocks()
             capacity = sum(b.slot_count for b in blocks)
             limbo = sum(b.limbo_count for b in blocks)
-            contexts.append(
-                {
-                    "name": context.name,
-                    "live": context.live_count,
-                    "capacity": capacity,
-                    "blocks": len(blocks),
-                    "limbo": limbo,
-                    "limbo_fraction": (limbo / capacity) if capacity else 0.0,
-                    "reclaim_queue": context.reclaim_queue_length,
-                }
-            )
+            entry = {
+                "name": context.name,
+                "live": context.live_count,
+                "capacity": capacity,
+                "blocks": len(blocks),
+                "limbo": limbo,
+                "limbo_fraction": (limbo / capacity) if capacity else 0.0,
+                "reclaim_queue": context.reclaim_queue_length,
+            }
+            if self.pager is not None:
+                tiers = residency.get(context.context_id, {"hot": 0, "cold": 0})
+                entry["hot_blocks"] = tiers["hot"]
+                entry["cold_blocks"] = tiers["cold"]
+                entry["tier_bytes"] = tiers["cold"] * self.space.block_size
+            contexts.append(entry)
         string_dicts = {}
         for name, coll in getattr(self, "collections", {}).items():
             strdict = getattr(coll, "strdict", None)
@@ -447,7 +500,9 @@ class MemoryManager:
             "bailed_relocations": stats.bailed_relocations,
         }
         counters.update(stats.extra)
+        tier = self.pager.telemetry() if self.pager is not None else None
         return {
+            "tier": tier,
             "global_epoch": self.epochs.global_epoch,
             "min_active_epoch": self.epochs.min_active_epoch(),
             "leases": self.epochs.lease_count(),
@@ -482,8 +537,11 @@ class MemoryManager:
         for block in pooled:
             block.release()
         self.strings.close()
-        # With shared buffers this unlinks every remaining segment; zero
-        # orphan /dev/shm/smc_* files is part of the contract.
+        if self.pager is not None:
+            self.pager.close()
+        # With shared buffers this unlinks every remaining segment (and
+        # with tiered buffers, the tier file); zero orphan /dev/shm/smc_*
+        # and smc_tier_* files is part of the contract.
         self.space.buffers.close()
         self._closed = True
 

@@ -207,6 +207,11 @@ def run_columnar(
     plan, post = build_scan_plan(query, params, prune=prune, planner=planner)
     manager = plan.manager
     zone_tests = plan.zone_tests
+    faults_before = (
+        manager.stats.extra.get("tier_faults", 0)
+        if manager.pager is not None
+        else 0
+    )
 
     nworkers = max(1, int(workers or 1))
     if plan.index_choice is not None:
@@ -270,6 +275,12 @@ def run_columnar(
     else:
         extra["zone_untested_blocks"] = (
             extra.get("zone_untested_blocks", 0) + scanned
+        )
+    if manager.pager is not None:
+        # Per-query fault count, so benchmarks can assert a fully-pruned
+        # scan faulted in zero cold blocks.
+        extra["last_scan_tier_faults"] = (
+            extra.get("tier_faults", 0) - faults_before
         )
     # Observed per-query selectivity (ppm), for the feedback loop and
     # the metrics bridge.
@@ -402,14 +413,19 @@ def _run_serial(plan: _ScanPlan) -> Tuple["_Accumulator", int, int]:
     manager = plan.manager
     acc = plan.make_accumulator()
     probes = plan.make_probes()
+    pager = manager.pager
     pruned = scanned = 0
     manager.epochs.enter_critical_section()
     try:
         for block in scan_blocks(manager, plan.source.context):
             if not plan.admits(block):
+                # Pruned blocks are never referenced: a fully-pruned
+                # scan over a cold context touches zero cold bytes.
                 pruned += 1
                 continue
             scanned += 1
+            if pager is not None:
+                pager.touch(block)
             plan.process_block(block, probes, acc)
     finally:
         manager.epochs.exit_critical_section()

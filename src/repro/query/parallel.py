@@ -176,6 +176,7 @@ def _scan_worker(dispatcher: MorselDispatcher, plan):
     """
     manager = plan.manager
     epochs = manager.epochs
+    pager = manager.pager
     probes = plan.make_probes()
     partials = []
     pruned = scanned = 0
@@ -195,6 +196,8 @@ def _scan_worker(dispatcher: MorselDispatcher, plan):
                         pruned += 1
                         continue
                     scanned += 1
+                    if pager is not None:
+                        pager.touch(block)
                     plan.process_block(block, probes, acc)
                 partials.append((seq, acc))
                 continue
@@ -216,6 +219,8 @@ def _scan_worker(dispatcher: MorselDispatcher, plan):
                             pruned += 1
                             continue
                         scanned += 1
+                        if pager is not None:
+                            pager.touch(block)
                         plan.process_block(block, probes, acc)
             finally:
                 if gkind == GROUP_PINNED:

@@ -305,12 +305,13 @@ def _attach_block(manager, block_id: int, kind: str, segment):
     return _AttachedStringBlock(space, block_id, segment)
 
 
-def _make_attach_miss(manager, space_map: Dict[int, Tuple[str, str]], cache):
+def _make_attach_miss(manager, space_map: Dict[int, tuple], cache):
     """Build the worker's ``AddressSpace.attach_miss`` hook for one query.
 
     The cache outlives the query: attached blocks stay adopted for the
-    worker's lifetime, which is safe because any allocation or free in
-    the parent respawns the workers before the next process query.
+    worker's lifetime, which is safe because any allocation, free or
+    residency change in the parent respawns the workers before the next
+    process query.
     """
 
     def attach_miss(block_id: int):
@@ -320,8 +321,19 @@ def _make_attach_miss(manager, space_map: Dict[int, Tuple[str, str]], cache):
         entry = space_map.get(block_id)
         if entry is None:
             return None
-        name, kind = entry
-        segment = manager.space.buffers.attach(name)
+        if len(entry) == 3:
+            # Cold block: no segment name to attach — map the block's
+            # region of the tier file through the worker's own mapping
+            # (the TierStore fd is inherited across the fork; offsets
+            # are the wire format).
+            __, kind, offset = entry
+            store = manager.space.buffers.store
+            if store is None:
+                return None
+            segment = store.map_region(offset, manager.space.block_size)
+        else:
+            name, kind = entry
+            segment = manager.space.buffers.attach(name)
         block = _attach_block(manager, block_id, kind, segment)
         manager.space.adopt(block_id, block)
         cache[block_id] = block
@@ -330,20 +342,29 @@ def _make_attach_miss(manager, space_map: Dict[int, Tuple[str, str]], cache):
     return attach_miss
 
 
-def _space_map(manager) -> Dict[int, Tuple[str, str]]:
-    """``{block_id: (segment_name, kind)}`` for every live block."""
-    out: Dict[int, Tuple[str, str]] = {}
+def _space_map(manager) -> Dict[int, tuple]:
+    """``{block_id: (segment_name, kind)}`` for every live block.
+
+    Cold blocks (no attachable segment name) travel by tier-file
+    coordinates instead: ``(None, kind, tier_offset)``.
+    """
+    out: Dict[int, tuple] = {}
     for block in manager.space.live_blocks():
         segment = getattr(block, "segment", None)
         name = getattr(segment, "name", None)
-        if name is None:
-            continue
         if getattr(block, "columns", None) is not None:
             kind = _KIND_COLUMNAR
         elif hasattr(block, "directory"):
             kind = _KIND_ROW
         else:
             kind = _KIND_STRING
+        if name is None:
+            if (
+                getattr(block, "residency", None) == "cold"
+                and block.tier_offset >= 0
+            ):
+                out[block.block_id] = (None, kind, block.tier_offset)
+            continue
         out[block.block_id] = (name, kind)
     return out
 
@@ -474,6 +495,10 @@ class ProcessScanPool:
         Any object allocation or free, new context, string-dictionary
         rebinding or string-heap growth invalidates the workers' COW
         view; compaction (pure relocation) intentionally does not.
+        Residency changes do: a fault rebinds the block to a *new* hot
+        segment the old workers never mapped, and a demotion swaps in a
+        tier mapping — either way the space map the workers cached is
+        stale, so tier fault/eviction counters are part of the stamp.
         """
         manager = self.manager
         versions = 0
@@ -481,12 +506,15 @@ class ProcessScanPool:
             strdict = getattr(coll, "strdict", None)
             if strdict is not None:
                 versions += strdict.version
+        extra = manager.stats.extra
         return (
             manager.stats.allocations,
             manager.stats.frees,
             len(manager._contexts),
             versions,
             manager.strings.block_count,
+            extra.get("tier_faults", 0),
+            extra.get("tier_evictions", 0),
         )
 
     # -- worker lifecycle ----------------------------------------------
@@ -621,8 +649,16 @@ class ProcessScanPool:
         if not self._busy.acquire(blocking=False):
             return None
         try:
-            self._ensure_workers()
-            return self._run_locked(plan)
+            pager = getattr(self.manager, "pager", None)
+            if pager is None:
+                self._ensure_workers()
+                return self._run_locked(plan)
+            # Defer demotions for the whole fan-out: hot segment names in
+            # the space map and cold tier regions must stay stable while
+            # workers hold mappings of them.
+            with pager.hold():
+                self._ensure_workers()
+                return self._run_locked(plan)
         finally:
             self._busy.release()
 

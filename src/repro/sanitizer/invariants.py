@@ -30,7 +30,16 @@ rules from sections 3.2–3.4 and 5.1 of the paper:
     the global epoch advances monotonically, one step at a time, and
     never past a thread still inside a critical section;
 ``premature-block-recycle``
-    a queued block is only recycled once its ready epoch has passed.
+    a queued block is only recycled once its ready epoch has passed;
+``evict-pinned-block`` / ``evict-owned-block``
+    the pager never demotes a pinned, allocator-active, compacting or
+    reclamation-queued block;
+``evict-before-grace``
+    a cooling block is only demoted two epochs after cooling began, so
+    no writer whose critical section validated residency can still be
+    in flight (the epoch-visible-dirty rule);
+``fault-left-cold``
+    a fault leaves the block hot with its tier region retained.
 
 Every event is appended to a bounded trace ring; a violation raises
 :class:`~repro.errors.ProtocolViolation` carrying the trace tail.
@@ -321,6 +330,54 @@ class Sanitizer:
             )
 
     # ------------------------------------------------------------------
+    # Tiering invariants (flags captured at transition time: the pager
+    # emits after releasing its lock, so live block state may already
+    # have legitimately moved on)
+    # ------------------------------------------------------------------
+
+    def _check_tier_evict(self, data: Dict[str, Any]) -> None:
+        block = data["block"]
+        if data["pin_count"]:
+            self._violate(
+                "evict-pinned-block",
+                f"block#{block.block_id} demoted while pinned "
+                f"(pin_count={data['pin_count']})",
+            )
+        if data["was_active"] or data["was_compacting"] or data["was_queued"]:
+            owner = (
+                "allocator-active"
+                if data["was_active"]
+                else "compacting" if data["was_compacting"] else "reclaim-queued"
+            )
+            self._violate(
+                "evict-owned-block",
+                f"block#{block.block_id} demoted while {owner}",
+            )
+        if data["epoch"] < data["cool_epoch"] + 2:
+            self._violate(
+                "evict-before-grace",
+                f"block#{block.block_id} demoted at epoch {data['epoch']} "
+                f"but began cooling at {data['cool_epoch']} (demotable at "
+                f"{data['cool_epoch'] + 2}); a writer's critical section "
+                f"may still trust the hot buffer",
+            )
+
+    def _check_tier_fault(self, data: Dict[str, Any]) -> None:
+        block = data["block"]
+        if data["residency"] != "hot":
+            self._violate(
+                "fault-left-cold",
+                f"block#{block.block_id} faulted but its residency is "
+                f"{data['residency']!r}, not 'hot'",
+            )
+        if data["tier_offset"] < 0:
+            self._violate(
+                "fault-left-cold",
+                f"block#{block.block_id} faulted but lost its tier region; "
+                f"a clean re-demotion would have nothing to map",
+            )
+
+    # ------------------------------------------------------------------
     # Epoch invariants
     # ------------------------------------------------------------------
 
@@ -372,6 +429,10 @@ _CHECKS = {
     "entry.release": Sanitizer._check_entry_release,
     "entry.repoint": Sanitizer._check_entry_repoint,
     "epoch.advance": Sanitizer._check_epoch_advance,
+    # "tier.cool" carries no check: it exists as a schedule yield point
+    # between the cooling decision and the demotion that completes it.
+    "tier.evict": Sanitizer._check_tier_evict,
+    "tier.fault": Sanitizer._check_tier_fault,
 }
 
 

@@ -425,6 +425,71 @@ def instrument_exec(registry: MetricsRegistry, pool) -> None:
     )
 
 
+def instrument_tiering(registry: MetricsRegistry, pager) -> None:
+    """Export the pager's tiering state (``smc_tier_*``).
+
+    Residency gauges and byte totals are scrape-time reads of the
+    :class:`~repro.memory.pager.Pager`; the lifetime counters
+    (``smc_tier_faults_total``, ``smc_tier_evictions_total``,
+    ``smc_tier_spills_total``) already ride ``manager.stats.extra``
+    through :func:`instrument_manager`.  Fault latency lands in a
+    histogram via the pager's ``fault_timer`` hook.
+    """
+    registry.gauge(
+        "smc_tier_budget_bytes",
+        "Hot-tier byte budget the pager evicts down to",
+        callback=lambda: float(pager.budget),
+    )
+    registry.gauge(
+        "smc_tier_hot_bytes",
+        "Bytes of pool blocks resident in writable hot segments",
+        callback=lambda: float(pager.hot_bytes()),
+    )
+    registry.gauge(
+        "smc_tier_cold_bytes",
+        "Bytes of pool blocks demoted to read-only tier mappings",
+        callback=lambda: float(pager.cold_bytes()),
+    )
+    registry.gauge(
+        "smc_tier_file_bytes",
+        "Size of the tier spill file backing cold blocks",
+        callback=lambda: float(pager.telemetry()["tier_file_bytes"]),
+    )
+
+    def _residency_series() -> Dict[LabelItems, float]:
+        return {
+            (("residency", state),): float(count)
+            for state, count in pager.residency_counts().items()
+        }
+
+    residency = registry.gauge(
+        "smc_tier_blocks", "Pool blocks by residency state"
+    )
+    residency.attach_series(_residency_series)
+
+    def _context_series() -> Dict[LabelItems, float]:
+        manager = pager.manager
+        names = {c.context_id: c.name for c in manager._contexts}
+        out: Dict[LabelItems, float] = {}
+        for ctx_id, entry in pager.residency_by_context().items():
+            name = names.get(ctx_id, str(ctx_id))
+            for state, count in entry.items():
+                out[(("context", name), ("residency", state))] = float(count)
+        return out
+
+    per_context = registry.gauge(
+        "smc_tier_context_blocks",
+        "Pool blocks by residency state per memory context",
+    )
+    per_context.attach_series(_context_series)
+
+    faults = registry.histogram(
+        "smc_tier_fault_seconds",
+        "Wall-clock latency of cold-block faults (promotion to hot)",
+    )
+    pager.fault_timer = faults.observe
+
+
 def instrument_durability(registry: MetricsRegistry, store) -> None:
     """Export the durable store's WAL/checkpoint/recovery telemetry.
 

@@ -50,6 +50,7 @@ from repro.service.metrics import (
     instrument_exec,
     instrument_manager,
     instrument_replication,
+    instrument_tiering,
 )
 from repro.service.plancache import PlanCache
 from repro.service.session import (
@@ -175,6 +176,8 @@ class QueryService:
         self.metrics = metrics or MetricsRegistry()
         instrument_manager(self.metrics, self.manager)
         engine_snapshot(self.metrics)
+        if getattr(self.manager, "pager", None) is not None:
+            instrument_tiering(self.metrics, self.manager.pager)
         if self.exec_pool is not None:
             instrument_exec(self.metrics, self.exec_pool)
         if store is not None:
@@ -265,6 +268,19 @@ class QueryService:
                     set_budget=lambda n: self.store.wal.set_buffer_capacity(
                         n
                     ),
+                )
+            pager = getattr(self.manager, "pager", None)
+            if pager is not None:
+                # The hot block pool is by far the largest tenant; its
+                # weight keeps the initial split from starving it, and a
+                # fault streak (tier misses) pulls budget away from the
+                # caches toward the pool.
+                self.governor.register(
+                    "block_pool",
+                    usage=pager.governor_usage,
+                    counters=pager.governor_counters,
+                    set_budget=pager.set_budget,
+                    weight=4.0,
                 )
 
     # -- fleet role ----------------------------------------------------
@@ -522,6 +538,12 @@ class QueryService:
             self.admission.release()
         if self.governor is not None:
             self.governor.maybe_rebalance()
+        pager = getattr(self.manager, "pager", None)
+        if pager is not None:
+            # Operation boundary: finish pending demotions and evict the
+            # hot tier back under budget (faults during the scan may have
+            # transiently exceeded it).
+            pager.maintain()
         return {
             "ok": True,
             "columns": list(result.columns),
@@ -600,6 +622,9 @@ class QueryService:
             self.admission.release()
         committed = self.store.committed_lsn
         self.store.maybe_checkpoint()
+        pager = getattr(self.manager, "pager", None)
+        if pager is not None:
+            pager.maintain()
         return {"ok": True, "results": results, "lsn": committed}
 
     # -- replication ops -----------------------------------------------
